@@ -1,0 +1,104 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation at a configurable scale and prints the rows/series the paper
+// reports, side by side with the paper's headline values.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig3 -webmd 1200 -hb 2400
+//	experiments -run fig4 -runs 3
+//	experiments -run linkage,theory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dehealth/internal/eval"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiments: fig1,fig2,table1,fig3,fig4,fig5,fig6,fig7,fig8,linkage,theory,ablation,defense or 'all'")
+		webmd   = flag.Int("webmd", 1200, "WebMD-like forum size (users)")
+		hb      = flag.Int("hb", 2400, "HB-like forum size (users)")
+		overlap = flag.Float64("overlap", 0.2, "fraction of WebMD users also on HB")
+		runs    = flag.Int("runs", 2, "averaging runs for the refined-DA experiments")
+		users   = flag.Int("refined-users", 50, "population size for Fig.4")
+		seed    = flag.Int64("seed", 1902, "world seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+	need := func(name string) bool { return all || want[name] }
+
+	var c *eval.Corpora
+	corpora := func() *eval.Corpora {
+		if c == nil {
+			fmt.Fprintf(os.Stderr, "generating corpora (webmd=%d, hb=%d)...\n", *webmd, *hb)
+			t0 := time.Now()
+			c = eval.GenerateCorpora(eval.Scale{
+				WebMDUsers: *webmd, HBUsers: *hb, OverlapFrac: *overlap, Seed: *seed,
+			})
+			fmt.Fprintf(os.Stderr, "corpora ready in %v (%d + %d posts)\n",
+				time.Since(t0).Round(time.Millisecond), c.WebMD.NumPosts(), c.HB.NumPosts())
+		}
+		return c
+	}
+
+	section := func(name string, f func()) {
+		if !need(name) {
+			return
+		}
+		t0 := time.Now()
+		f()
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	section("fig1", func() {
+		series, t := eval.Fig1(corpora())
+		fmt.Println(eval.RenderSeries("Fig.1 CDF of users vs number of posts", series))
+		fmt.Println(t)
+	})
+	section("fig2", func() {
+		series, t := eval.Fig2(corpora())
+		fmt.Println(eval.RenderSeries("Fig.2 post length distribution (fraction per 50-word bin)", series))
+		fmt.Println(t)
+	})
+	section("table1", func() { fmt.Println(eval.Table1()) })
+	section("fig7", func() {
+		series, t := eval.Fig7(corpora())
+		fmt.Println(eval.RenderSeries("Fig.7 degree distribution CDF", series))
+		fmt.Println(t)
+	})
+	section("fig8", func() { fmt.Println(eval.Fig8(corpora())) })
+	section("fig3", func() {
+		fmt.Println(eval.RenderSeries("Fig.3 closed-world Top-K DA success CDF", eval.Fig3(corpora(), nil)))
+	})
+	section("fig5", func() {
+		fmt.Println(eval.RenderSeries("Fig.5 open-world Top-K DA success CDF", eval.Fig5(corpora(), nil)))
+	})
+	section("fig4", func() {
+		fmt.Println(eval.Fig4(eval.RefinedConfig{Users: *users, Runs: *runs, Seed: *seed}))
+	})
+	section("fig6", func() {
+		acc, fp := eval.Fig6(eval.RefinedConfig{Users: 2 * *users, Runs: *runs, Seed: *seed})
+		fmt.Println(acc)
+		fmt.Println(fp)
+	})
+	section("linkage", func() { fmt.Println(eval.LinkageExperiment(corpora())) })
+	section("theory", func() { fmt.Println(eval.TheoryExperiment(0)) })
+	section("ablation", func() {
+		fmt.Println(eval.AblationWeights(corpora(), 50))
+		fmt.Println(eval.AblationSelection(*seed))
+		fmt.Println(eval.AblationFilter(*seed))
+	})
+	section("defense", func() { fmt.Println(eval.DefenseExperiment(*users, 20, *seed)) })
+}

@@ -1,0 +1,52 @@
+// Command genforum generates a synthetic health-forum dataset calibrated to
+// the paper's WebMD/HealthBoards statistics and writes it as JSON.
+//
+// Usage:
+//
+//	genforum -forum webmd -users 2000 -seed 7 -out webmd.json
+//	genforum -forum healthboards -users 5000 -out hb.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dehealth/internal/synth"
+)
+
+func main() {
+	var (
+		forum = flag.String("forum", "webmd", "forum preset: webmd or healthboards")
+		users = flag.Int("users", 1000, "number of accounts")
+		posts = flag.Int("posts", 0, "fixed posts per user (0 = calibrated Zipf distribution)")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		out   = flag.String("out", "", "output JSON path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("genforum: -out is required")
+	}
+
+	var cfg synth.ForumConfig
+	switch *forum {
+	case "webmd":
+		cfg = synth.WebMDLike(*users, *seed+2)
+	case "healthboards", "hb":
+		cfg = synth.HBLike(*users, *seed+2)
+	default:
+		log.Fatalf("genforum: unknown forum preset %q", *forum)
+	}
+	cfg.FixedPosts = *posts
+
+	u := synth.NewUniverse(*users+*users/2, *seed)
+	rng := rand.New(rand.NewSource(*seed + 1))
+	members := synth.Members(u, *users, rng)
+	d := synth.Generate(cfg, u, members)
+	if err := d.Save(*out); err != nil {
+		log.Fatalf("genforum: %v", err)
+	}
+	fmt.Printf("wrote %s: %d users, %d threads, %d posts (mean len %.1f words)\n",
+		*out, d.NumUsers(), len(d.Threads), d.NumPosts(), d.MeanPostLengthWords())
+}

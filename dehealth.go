@@ -1,0 +1,318 @@
+// Package dehealth is the public API of the De-Health reproduction — the
+// online-health-data de-anonymization framework of Ji et al., "De-Health:
+// All Your Online Health Information Are Belong to Us" (ICDE 2020).
+//
+// The package exposes the full pipeline:
+//
+//   - dataset handling (the corpus model, JSON I/O, closed/open-world
+//     splits) and a calibrated synthetic health-forum generator standing in
+//     for the paper's WebMD/HealthBoards crawls;
+//   - the two-phase De-Health attack: structural Top-K candidate selection
+//     over User-Data-Attribute graphs, then classifier-based refined DA with
+//     open-world handling (false addition, mean verification);
+//   - the §VI linkage attack (NameLink and AvatarLink) connecting forum
+//     accounts to external-service profiles;
+//   - the §IV theoretical bounds on re-identifiability.
+//
+// Quick start:
+//
+//	world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: 500, HBUsers: 800, Seed: 1})
+//	split := dehealth.SplitClosedWorld(world.WebMD, 0.5, 7)
+//	res, err := dehealth.Attack(split.Anon, split.Aux, dehealth.DefaultOptions())
+//	// res.Mapping[u] is the de-anonymized auxiliary user of anonymized user u (or -1).
+package dehealth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dehealth/internal/anonymize"
+	"dehealth/internal/core"
+	"dehealth/internal/corpus"
+	"dehealth/internal/linkage"
+	"dehealth/internal/ml"
+	"dehealth/internal/similarity"
+	"dehealth/internal/synth"
+)
+
+// Dataset is a health forum's data: users, threads and posts.
+type Dataset = corpus.Dataset
+
+// Split is an anonymized/auxiliary partition with evaluation ground truth.
+type Split = corpus.Split
+
+// LoadDataset reads a JSON dataset written by (*Dataset).Save.
+func LoadDataset(path string) (*Dataset, error) { return corpus.Load(path) }
+
+// SplitClosedWorld partitions each user's posts, sending auxFrac of them to
+// the auxiliary side (§V-A methodology).
+func SplitClosedWorld(d *Dataset, auxFrac float64, seed int64) *Split {
+	return corpus.SplitClosedWorld(d, auxFrac, rand.New(rand.NewSource(seed)))
+}
+
+// SplitOpenWorld builds an open-world partition with the given overlapping
+// user ratio (§V-B methodology, footnote 10).
+func SplitOpenWorld(d *Dataset, overlapRatio float64, seed int64) *Split {
+	return corpus.OpenWorldOverlap(d, overlapRatio, rand.New(rand.NewSource(seed)))
+}
+
+// WorldConfig sizes a synthetic evaluation world.
+type WorldConfig struct {
+	// WebMDUsers and HBUsers are account counts for the two forums.
+	WebMDUsers, HBUsers int
+	// OverlapFrac is the fraction of WebMD users who also hold an HB
+	// account (default 0.2).
+	OverlapFrac float64
+	// Seed makes the world reproducible.
+	Seed int64
+}
+
+// World is a generated evaluation world: two forums over a shared person
+// universe plus the external-service directory for linkage attacks.
+type World struct {
+	WebMD, HB *Dataset
+	Directory *linkage.Directory
+	Universe  *synth.Universe
+}
+
+// GenerateWorld builds a synthetic world calibrated to the paper's corpus
+// statistics (Fig.1, Fig.2, Fig.7).
+func GenerateWorld(cfg WorldConfig) *World {
+	if cfg.OverlapFrac == 0 {
+		cfg.OverlapFrac = 0.2
+	}
+	overlap := int(cfg.OverlapFrac * float64(cfg.WebMDUsers))
+	uSize := cfg.WebMDUsers + cfg.HBUsers - overlap + cfg.WebMDUsers/2
+	u := synth.NewUniverse(uSize, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	wm, hm := synth.OverlappingMembers(u, cfg.WebMDUsers, cfg.HBUsers, overlap, rng)
+	return &World{
+		WebMD:     synth.Generate(synth.WebMDLike(cfg.WebMDUsers, cfg.Seed+2), u, wm),
+		HB:        synth.Generate(synth.HBLike(cfg.HBUsers, cfg.Seed+3), u, hm),
+		Directory: synth.SocialDirectory(u, synth.DefaultServices(), cfg.Seed+4),
+		Universe:  u,
+	}
+}
+
+// Classifier selects the refined-DA learning algorithm.
+type Classifier string
+
+// Supported classifiers.
+const (
+	KNN  Classifier = "knn"  // k-nearest neighbors (k = 3)
+	NN   Classifier = "nn"   // nearest neighbor
+	SMO  Classifier = "smo"  // SVM via sequential minimal optimization
+	RLSC Classifier = "rlsc" // regularized least squares classification
+	NB   Classifier = "nb"   // Gaussian naive Bayes
+)
+
+// Scheme selects the open-world handling of refined DA.
+type Scheme string
+
+// Supported open-world schemes.
+const (
+	Closed           Scheme = "closed"
+	FalseAddition    Scheme = "false-addition"
+	MeanVerification Scheme = "mean-verification"
+	SigmaVerify      Scheme = "sigma-verification"
+	Distractorless   Scheme = "distractorless"
+)
+
+// Options parametrizes an Attack run. Zero values take the paper defaults.
+type Options struct {
+	// C1, C2, C3 weight the degree, distance and attribute similarities
+	// (paper default 0.05 / 0.05 / 0.9).
+	C1, C2, C3 float64
+	// Landmarks is ħ, the top-degree landmark count (default 50).
+	Landmarks int
+	// K is the Top-K candidate set size (default 10).
+	K int
+	// GraphMatching switches candidate selection from direct selection to
+	// repeated maximum-weight bipartite matching.
+	GraphMatching bool
+	// Filter enables the Algorithm 2 threshold-vector filtering.
+	Filter bool
+	// Epsilon and L parametrize the filter (defaults 0.01, 10).
+	Epsilon float64
+	L       int
+	// Classifier picks the refined-DA learner (default SMO).
+	Classifier Classifier
+	// Scheme picks the open-world handling (default Closed).
+	Scheme Scheme
+	// R is the mean-verification margin (default 0.25).
+	R float64
+	// Sigma is the sigma-verification threshold (default 1.0).
+	Sigma float64
+	// CosineThreshold is the distractorless acceptance level (default 0.98).
+	CosineThreshold float64
+	// MaxBigrams caps the POS-bigram feature block (default 300).
+	MaxBigrams int
+	// Seed drives all randomized components.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's default attack configuration.
+func DefaultOptions() Options {
+	return Options{
+		C1: 0.05, C2: 0.05, C3: 0.9,
+		Landmarks:  50,
+		K:          10,
+		Classifier: SMO,
+		Scheme:     Closed,
+		R:          0.25,
+		Epsilon:    0.01,
+		L:          10,
+	}
+}
+
+// Result is the outcome of a full two-phase attack.
+type Result struct {
+	// Mapping[u] is the auxiliary user that anonymized user u was
+	// de-anonymized to, or -1 for u -> ⊥.
+	Mapping []int
+	// TopK is the first-phase outcome (candidate sets and true-mapping
+	// ranks when ground truth was supplied).
+	TopK *core.TopKResult
+	// Pipeline exposes the underlying artifacts (UDA graphs, scorer) for
+	// inspection.
+	Pipeline *core.Pipeline
+}
+
+func (o Options) classifierFactory() (func() ml.Classifier, error) {
+	switch o.Classifier {
+	case KNN, "":
+		return func() ml.Classifier { return ml.NewKNN(3) }, nil
+	case NN:
+		return func() ml.Classifier { return ml.NN() }, nil
+	case SMO:
+		return func() ml.Classifier { return ml.NewSMO(ml.SMOConfig{C: 1, Seed: o.Seed}) }, nil
+	case RLSC:
+		return func() ml.Classifier { return ml.NewRLSC(1) }, nil
+	case NB:
+		return func() ml.Classifier { return ml.NewNaiveBayes() }, nil
+	default:
+		return nil, fmt.Errorf("dehealth: unknown classifier %q", o.Classifier)
+	}
+}
+
+func (o Options) scheme() (core.OpenWorldScheme, error) {
+	switch o.Scheme {
+	case Closed, "":
+		return core.ClosedWorld, nil
+	case FalseAddition:
+		return core.FalseAddition, nil
+	case MeanVerification:
+		return core.MeanVerification, nil
+	case SigmaVerify:
+		return core.SigmaVerification, nil
+	case Distractorless:
+		return core.DistractorlessVerification, nil
+	default:
+		return 0, fmt.Errorf("dehealth: unknown scheme %q", o.Scheme)
+	}
+}
+
+// Attack runs the full two-phase De-Health attack: build UDA graphs, select
+// Top-K candidate sets, optionally filter, and run refined DA. trueMapping
+// (optional, evaluation only) can be supplied via AttackWithTruth.
+func Attack(anon, aux *Dataset, opt Options) (*Result, error) {
+	return AttackWithTruth(anon, aux, opt, nil)
+}
+
+// AttackWithTruth is Attack plus ground truth for rank bookkeeping; the
+// truth never influences the attack itself.
+func AttackWithTruth(anon, aux *Dataset, opt Options, trueMapping map[int]int) (*Result, error) {
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	if opt.C1 == 0 && opt.C2 == 0 && opt.C3 == 0 {
+		opt.C1, opt.C2, opt.C3 = 0.05, 0.05, 0.9
+	}
+	if opt.Landmarks <= 0 {
+		opt.Landmarks = 50
+	}
+	mkClf, err := opt.classifierFactory()
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := opt.scheme()
+	if err != nil {
+		return nil, err
+	}
+
+	simCfg := similarity.Config{C1: opt.C1, C2: opt.C2, C3: opt.C3, Landmarks: opt.Landmarks}
+	p := core.NewPipeline(anon, aux, simCfg, opt.MaxBigrams)
+
+	sel := core.DirectSelection
+	if opt.GraphMatching {
+		sel = core.GraphMatchingSelection
+	}
+	tk := p.TopK(opt.K, sel, trueMapping)
+	if opt.Filter {
+		p.Filter(tk, core.FilterConfig{Epsilon: opt.Epsilon, L: opt.L})
+	}
+	sigma := opt.Sigma
+	if sigma == 0 {
+		sigma = 1.0
+	}
+	cosT := opt.CosineThreshold
+	if cosT == 0 {
+		cosT = 0.98
+	}
+	res, err := p.RefinedDA(tk, core.RefineOptions{
+		NewClassifier:   mkClf,
+		Scheme:          scheme,
+		R:               opt.R,
+		Sigma:           sigma,
+		CosineThreshold: cosT,
+		Seed:            opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Mapping: res.Mapping, TopK: tk, Pipeline: p}, nil
+}
+
+// ScrubLevel selects how aggressively the style-scrubbing defense rewrites
+// posts before release (see internal/anonymize).
+type ScrubLevel = anonymize.Level
+
+// Scrub levels, from no-op to aggressive character-class stripping.
+const (
+	ScrubOff        = anonymize.LevelOff
+	ScrubLight      = anonymize.LevelLight
+	ScrubStandard   = anonymize.LevelStandard
+	ScrubAggressive = anonymize.LevelAggressive
+)
+
+// Defend applies the style-scrubbing anonymizer to a dataset before
+// release — the defensive counterpart of the attack, addressing the open
+// problem the paper's §VII describes.
+func Defend(d *Dataset, level ScrubLevel) *Dataset {
+	return anonymize.ScrubDataset(d, level)
+}
+
+// LinkageResult is the outcome of the §VI linkage attack.
+type LinkageResult struct {
+	// AvatarLinks and NameLinks are the raw per-technique links.
+	AvatarLinks, NameLinks []linkage.Link
+	// Dossiers are the aggregated, cross-validated per-victim profiles.
+	Dossiers []linkage.Dossier
+}
+
+// Linkage runs NameLink + AvatarLink against an external directory,
+// aggregates dossiers and enriches them from the people-search service
+// (the full §VI pipeline).
+func Linkage(forum *Dataset, dir *linkage.Directory) *LinkageResult {
+	model := linkage.NewEntropyModel(2)
+	model.Train(dir.Usernames())
+	av := linkage.AvatarLink(forum, dir, linkage.DefaultAvatarLinkConfig())
+	nm := linkage.NameLink(forum, dir, model, linkage.DefaultNameLinkConfig())
+	dossiers := linkage.Aggregate(forum, dir, av, nm)
+	linkage.EnrichFromPeopleSearch(dossiers, dir, "whitepages")
+	return &LinkageResult{
+		AvatarLinks: av,
+		NameLinks:   nm,
+		Dossiers:    dossiers,
+	}
+}

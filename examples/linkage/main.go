@@ -1,0 +1,62 @@
+// Linkage attack (§VI): link health-forum accounts to real-world identities
+// through username reuse (NameLink) and avatar reuse (AvatarLink) against a
+// synthetic external-service directory, then aggregate per-victim dossiers
+// — the full "all your online health information are belong to us" pipeline.
+package main
+
+import (
+	"fmt"
+
+	"dehealth"
+	"dehealth/internal/linkage"
+)
+
+func main() {
+	world := dehealth.GenerateWorld(dehealth.WorldConfig{
+		WebMDUsers:  2000,
+		HBUsers:     3000,
+		OverlapFrac: 0.2,
+		Seed:        1902,
+	})
+	fmt.Printf("forum: %d users; external directory: %d profiles\n",
+		world.WebMD.NumUsers(), len(world.Directory.Profiles))
+
+	res := dehealth.Linkage(world.WebMD, world.Directory)
+
+	usable := linkage.UsableAvatars(world.WebMD)
+	fmt.Printf("usable avatars after §VI filtering: %d\n", len(usable))
+	fmt.Printf("AvatarLink identifications: %d (%.1f%% of usable)\n",
+		len(res.AvatarLinks), 100*float64(len(res.AvatarLinks))/float64(len(usable)))
+	fmt.Printf("NameLink identifications: %d\n", len(res.NameLinks))
+	fmt.Printf("aggregated dossiers: %d\n\n", len(res.Dossiers))
+
+	// Score against ground truth (the generator knows who is who).
+	avC, avT := linkage.Score(world.WebMD, world.Directory, res.AvatarLinks)
+	nmC, nmT := linkage.Score(world.WebMD, world.Directory, res.NameLinks)
+	fmt.Printf("AvatarLink precision: %d/%d\n", avC, avT)
+	fmt.Printf("NameLink precision:   %d/%d\n\n", nmC, nmT)
+
+	// Print a few dossiers — what the adversary now knows about the people
+	// behind "anonymous" health posts.
+	shown := 0
+	for _, ds := range res.Dossiers {
+		if ds.FullName == "" || shown >= 3 {
+			continue
+		}
+		shown++
+		u := world.WebMD.Users[ds.User]
+		fmt.Printf("dossier for forum user %q:\n", u.Name)
+		fmt.Printf("  full name:  %s\n", ds.FullName)
+		if ds.City != "" {
+			fmt.Printf("  city:       %s\n", ds.City)
+		}
+		if ds.BirthYear != 0 {
+			fmt.Printf("  birth year: %d\n", ds.BirthYear)
+		}
+		if ds.Phone != "" {
+			fmt.Printf("  phone:      %s\n", ds.Phone)
+		}
+		fmt.Printf("  services:   %v\n", ds.Services)
+		fmt.Printf("  medical posts now attributable: %d\n\n", ds.PostCount)
+	}
+}

@@ -1,0 +1,181 @@
+// Package analysis implements the paper's theoretical framework (§IV):
+// Chernoff-style lower bounds on the probability of successful exact and
+// Top-K de-anonymization (Theorems 1–4) and the asymptotic (a.a.s.)
+// conditions of Corollaries 1–3, plus Monte-Carlo machinery that validates
+// the bounds empirically.
+//
+// Terminology follows the paper. A distance function f over user feature
+// vectors has mean λ on correct pairs (u, u') and mean λ̄ on incorrect pairs
+// (u, v); the correct-pair values range over an interval of width θ, the
+// incorrect-pair values over width θ̄, and δ = max(θ, θ̄). The DA model M
+// maps u to argmin f (when λ < λ̄).
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params carries the quantities the §IV bounds depend on.
+type Params struct {
+	// Lambda is λ, the mean of f on correct pairs.
+	Lambda float64
+	// LambdaBar is λ̄, the mean of f on incorrect pairs.
+	LambdaBar float64
+	// Theta is θ, the range width of f on correct pairs.
+	Theta float64
+	// ThetaBar is θ̄, the range width of f on incorrect pairs.
+	ThetaBar float64
+	// N1 and N2 are the anonymized and auxiliary user counts.
+	N1, N2 int
+}
+
+// Delta returns δ = max(θ, θ̄).
+func (p Params) Delta() float64 { return math.Max(p.Theta, p.ThetaBar) }
+
+// Gap returns |λ − λ̄|.
+func (p Params) Gap() float64 { return math.Abs(p.Lambda - p.LambdaBar) }
+
+// Validate checks that the parameters satisfy the framework's assumptions.
+func (p Params) Validate() error {
+	if p.Lambda == p.LambdaBar {
+		return errors.New("analysis: λ must differ from λ̄")
+	}
+	if p.Theta < 0 || p.ThetaBar < 0 {
+		return fmt.Errorf("analysis: negative range width (θ=%v, θ̄=%v)", p.Theta, p.ThetaBar)
+	}
+	if p.Delta() == 0 {
+		return errors.New("analysis: δ = 0 (degenerate distributions)")
+	}
+	return nil
+}
+
+// PairwiseSuccessLB returns the Theorem 1 lower bound on Pr(u -> u' from
+// {u', v}): 1 − 2·exp(−(λ−λ̄)²/(4δ²)). The bound can be vacuous (negative)
+// when the gap is small; callers get the raw value, clamped at 0.
+func PairwiseSuccessLB(p Params) float64 {
+	g := p.Gap()
+	lb := 1 - 2*math.Exp(-(g*g)/(4*p.Delta()*p.Delta()))
+	return clamp01(lb)
+}
+
+// AASPairwiseCondition reports whether the Corollary 1 condition
+// |λ−λ̄|/(2θ) ≥ sqrt(2 ln n + ln 2) holds for n = max(N1, N2), i.e. whether
+// pairwise DA succeeds asymptotically almost surely.
+func AASPairwiseCondition(p Params) bool {
+	n := float64(maxInt(p.N1, p.N2))
+	if n < 1 {
+		return false
+	}
+	return p.Gap()/(2*p.Delta()) >= math.Sqrt(2*math.Log(n)+math.Log(2))
+}
+
+// ExactSuccessLB returns the Corollary 2-style lower bound on Pr(u -> u'
+// from all of V2): 1 − 2(n2−1)·exp(−(λ−λ̄)²/(4δ²)) by a union bound over the
+// n2−1 incorrect candidates.
+func ExactSuccessLB(p Params) float64 {
+	g := p.Gap()
+	lb := 1 - 2*float64(p.N2-1)*math.Exp(-(g*g)/(4*p.Delta()*p.Delta()))
+	return clamp01(lb)
+}
+
+// AASExactCondition reports whether the Corollary 2 condition
+// |λ−λ̄|/(2θ) ≥ sqrt(2 ln n + ln 2n²) holds for n = max(N1, N2).
+func AASExactCondition(p Params) bool {
+	n := float64(maxInt(p.N1, p.N2))
+	if n < 1 {
+		return false
+	}
+	return p.Gap()/(2*p.Delta()) >= math.Sqrt(2*math.Log(n)+math.Log(2*n*n))
+}
+
+// GroupSuccessLB returns the Theorem 2 lower bound on Pr(Δ1 is
+// α-re-identifiable): 1 − exp(ln(2·αn1·n2) − (λ−λ̄)²/(4δ²)).
+func GroupSuccessLB(p Params, alpha float64) float64 {
+	if alpha <= 0 || alpha > 1 {
+		return 0
+	}
+	g := p.Gap()
+	exponent := math.Log(2*alpha*float64(p.N1)*float64(p.N2)) - (g*g)/(4*p.Delta()*p.Delta())
+	return clamp01(1 - math.Exp(exponent))
+}
+
+// AASGroupCondition reports whether the Corollary 3 condition
+// |λ−λ̄|/(2θ) ≥ sqrt(2 ln n + ln 2αn1n2) holds for n = max(N1, N2).
+func AASGroupCondition(p Params, alpha float64) bool {
+	if alpha <= 0 || alpha > 1 {
+		return false
+	}
+	n := float64(maxInt(p.N1, p.N2))
+	arg := 2*math.Log(n) + math.Log(2*alpha*float64(p.N1)*float64(p.N2))
+	return p.Gap()/(2*p.Delta()) >= math.Sqrt(arg)
+}
+
+// TopKSuccessLB returns the Theorem 3(i) lower bound on Pr(u -> Cu), the
+// probability a correct Top-K candidate set exists:
+// 1 − exp(ln 2(n2−K) − (λ−λ̄)²/(4δ²)).
+func TopKSuccessLB(p Params, k int) float64 {
+	if k >= p.N2 {
+		return 1 // the candidate set is all of V2
+	}
+	g := p.Gap()
+	exponent := math.Log(2*float64(p.N2-k)) - (g*g)/(4*p.Delta()*p.Delta())
+	return clamp01(1 - math.Exp(exponent))
+}
+
+// AASTopKCondition reports the Theorem 3(ii) condition
+// |λ−λ̄|/(2θ) ≥ sqrt(ln 2(n2−K) + 2 ln n).
+func AASTopKCondition(p Params, k int) bool {
+	if k >= p.N2 {
+		return true
+	}
+	n := float64(maxInt(p.N1, p.N2))
+	arg := math.Log(2*float64(p.N2-k)) + 2*math.Log(n)
+	return p.Gap()/(2*p.Delta()) >= math.Sqrt(arg)
+}
+
+// GroupTopKSuccessLB returns the Theorem 4(i) lower bound on Pr(Vα: u->Cu):
+// 1 − exp(ln 2αn1(n2−K) − (λ−λ̄)²/(4δ²)).
+func GroupTopKSuccessLB(p Params, alpha float64, k int) float64 {
+	if alpha <= 0 || alpha > 1 {
+		return 0
+	}
+	if k >= p.N2 {
+		return 1
+	}
+	g := p.Gap()
+	exponent := math.Log(2*alpha*float64(p.N1)*float64(p.N2-k)) - (g*g)/(4*p.Delta()*p.Delta())
+	return clamp01(1 - math.Exp(exponent))
+}
+
+// AASGroupTopKCondition reports the Theorem 4(ii) condition
+// |λ−λ̄|/(2θ) ≥ sqrt(ln 2αn1(n2−K) + 2 ln n).
+func AASGroupTopKCondition(p Params, alpha float64, k int) bool {
+	if alpha <= 0 || alpha > 1 {
+		return false
+	}
+	if k >= p.N2 {
+		return true
+	}
+	n := float64(maxInt(p.N1, p.N2))
+	arg := math.Log(2*alpha*float64(p.N1)*float64(p.N2-k)) + 2*math.Log(n)
+	return p.Gap()/(2*p.Delta()) >= math.Sqrt(arg)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

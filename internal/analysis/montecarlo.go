@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"math/rand"
+)
+
+// Simulator draws synthetic distance values matching a Params configuration
+// and measures empirical DA success rates, validating that the §IV bounds
+// hold (the empirical probability must dominate each lower bound).
+//
+// Correct-pair distances are uniform on [λ−θ/2, λ+θ/2]; incorrect-pair
+// distances are uniform on [λ̄−θ̄/2, λ̄+θ̄/2]. Uniform laws are the worst
+// case consistent with the (mean, range) abstraction the theorems use.
+type Simulator struct {
+	P   Params
+	rng *rand.Rand
+}
+
+// NewSimulator creates a Simulator seeded deterministically.
+func NewSimulator(p Params, seed int64) *Simulator {
+	return &Simulator{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *Simulator) correct() float64 {
+	return s.P.Lambda + s.P.Theta*(s.rng.Float64()-0.5)
+}
+
+func (s *Simulator) incorrect() float64 {
+	return s.P.LambdaBar + s.P.ThetaBar*(s.rng.Float64()-0.5)
+}
+
+// argminWins reports whether the DA model (argmin f when λ < λ̄, argmax
+// otherwise) picks the true mapping among the true pair and others
+// incorrect candidates.
+func (s *Simulator) argminWins(others int) bool {
+	fu := s.correct()
+	if s.P.Lambda < s.P.LambdaBar {
+		for i := 0; i < others; i++ {
+			if s.incorrect() <= fu {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < others; i++ {
+		if s.incorrect() >= fu {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimatePairwise estimates Pr(u -> u' from {u', v}) over trials runs
+// (Theorem 1 validation).
+func (s *Simulator) EstimatePairwise(trials int) float64 {
+	wins := 0
+	for i := 0; i < trials; i++ {
+		if s.argminWins(1) {
+			wins++
+		}
+	}
+	return float64(wins) / float64(trials)
+}
+
+// EstimateExact estimates Pr(u -> u' from V2) (Corollary 2 validation): the
+// true pair must beat all n2−1 incorrect candidates.
+func (s *Simulator) EstimateExact(trials int) float64 {
+	wins := 0
+	for i := 0; i < trials; i++ {
+		if s.argminWins(s.P.N2 - 1) {
+			wins++
+		}
+	}
+	return float64(wins) / float64(trials)
+}
+
+// EstimateTopK estimates Pr(u -> Cu), the probability that at most K−1
+// incorrect candidates beat the true mapping (Theorem 3 validation).
+func (s *Simulator) EstimateTopK(trials, k int) float64 {
+	wins := 0
+	for t := 0; t < trials; t++ {
+		fu := s.correct()
+		beat := 0
+		for i := 0; i < s.P.N2-1 && beat < k; i++ {
+			fv := s.incorrect()
+			if (s.P.Lambda < s.P.LambdaBar && fv <= fu) ||
+				(s.P.Lambda > s.P.LambdaBar && fv >= fu) {
+				beat++
+			}
+		}
+		if beat < k {
+			wins++
+		}
+	}
+	return float64(wins) / float64(trials)
+}
+
+// EstimateGroup estimates Pr(Δ1 is α-re-identifiable): every one of the
+// ⌈αn1⌉ users must be exactly de-anonymized (Theorem 2 validation).
+func (s *Simulator) EstimateGroup(trials int, alpha float64) float64 {
+	users := int(alpha * float64(s.P.N1))
+	if users < 1 {
+		users = 1
+	}
+	wins := 0
+	for t := 0; t < trials; t++ {
+		ok := true
+		for u := 0; u < users && ok; u++ {
+			ok = s.argminWins(s.P.N2 - 1)
+		}
+		if ok {
+			wins++
+		}
+	}
+	return float64(wins) / float64(trials)
+}

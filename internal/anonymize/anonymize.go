@@ -1,0 +1,230 @@
+// Package anonymize implements the defensive counterpart the paper leaves
+// as an open problem (§VII: "developing proper anonymization techniques for
+// large-scale online health data is a challenging open problem"): a
+// style-scrubbing anonymizer in the spirit of Anonymouth [36] that rewrites
+// posts to suppress the Table I stylometric signal while keeping the
+// medical content readable, so the De-Health attack can be evaluated
+// against a defended corpus.
+package anonymize
+
+import (
+	"strings"
+	"unicode"
+
+	"dehealth/internal/corpus"
+	"dehealth/internal/nlp/lexicon"
+)
+
+// Level selects how aggressively posts are rewritten.
+type Level int
+
+const (
+	// LevelOff leaves posts untouched.
+	LevelOff Level = iota
+	// LevelLight fixes known misspellings and strips emoticons — the
+	// cheap idiosyncrasy features.
+	LevelLight
+	// LevelStandard additionally normalizes case and punctuation runs,
+	// removing the case/punctuation habit features.
+	LevelStandard
+	// LevelAggressive additionally strips special characters and digits,
+	// collapsing the remaining character-class features.
+	LevelAggressive
+)
+
+// Scrub rewrites a single post at the given level.
+func Scrub(text string, level Level) string {
+	if level <= LevelOff {
+		return text
+	}
+	text = fixMisspellings(text)
+	text = stripEmoticons(text)
+	if level >= LevelStandard {
+		text = normalizeCase(text)
+		text = normalizePunctuation(text)
+	}
+	if level >= LevelAggressive {
+		text = stripSpecials(text)
+	}
+	return strings.TrimSpace(collapseSpaces(text))
+}
+
+// collapseSpaces merges runs of spaces/tabs left behind by the strip passes
+// while preserving newlines.
+func collapseSpaces(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	pendingSpace := false
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t':
+			pendingSpace = true
+		case r == '\n':
+			pendingSpace = false
+			b.WriteRune(r)
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteRune(' ')
+			}
+			pendingSpace = false
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ScrubDataset returns a copy of d with every post scrubbed. User metadata
+// that §VI exploits (avatars) is also withheld at LevelAggressive.
+func ScrubDataset(d *corpus.Dataset, level Level) *corpus.Dataset {
+	out := &corpus.Dataset{Name: d.Name + "-scrubbed"}
+	out.Users = append([]corpus.User(nil), d.Users...)
+	out.Threads = append([]corpus.Thread(nil), d.Threads...)
+	out.Posts = make([]corpus.Post, len(d.Posts))
+	for i, p := range d.Posts {
+		p.Text = Scrub(p.Text, level)
+		out.Posts[i] = p
+	}
+	if level >= LevelAggressive {
+		for i := range out.Users {
+			out.Users[i].AvatarHash = 0
+			out.Users[i].AvatarKind = corpus.AvatarDefault
+			out.Users[i].Location = ""
+		}
+	}
+	return out
+}
+
+// fixMisspellings replaces every known misspelling with its correction,
+// erasing the Table I idiosyncratic features.
+func fixMisspellings(text string) string {
+	fields := strings.Fields(text)
+	for i, f := range fields {
+		core, pre, post := trimAffixes(f)
+		if right, ok := lexicon.Misspellings[strings.ToLower(core)]; ok {
+			if isCapitalized(core) {
+				right = capitalize(right)
+			}
+			fields[i] = pre + right + post
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// trimAffixes splits leading/trailing punctuation off a token.
+func trimAffixes(f string) (core, pre, post string) {
+	start := 0
+	for start < len(f) && !isWordByte(f[start]) {
+		start++
+	}
+	end := len(f)
+	for end > start && !isWordByte(f[end-1]) {
+		end--
+	}
+	return f[start:end], f[:start], f[end:]
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '\''
+}
+
+func isCapitalized(w string) bool {
+	for _, r := range w {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+func capitalize(w string) string {
+	if w == "" {
+		return w
+	}
+	return strings.ToUpper(w[:1]) + w[1:]
+}
+
+// stripEmoticons removes the common ASCII emoticons.
+func stripEmoticons(text string) string {
+	for _, e := range []string{":-)", ":-(", ":)", ":(", ":/", ";)", ":D", ";-)"} {
+		text = strings.ReplaceAll(text, e, "")
+	}
+	return text
+}
+
+// normalizeCase lowercases everything, then re-capitalizes sentence starts
+// and the pronoun "i" — a canonical casing that removes both ALL-CAPS
+// emphasis and lowercase-i habits.
+func normalizeCase(text string) string {
+	text = strings.ToLower(text)
+	var b strings.Builder
+	b.Grow(len(text))
+	capNext := true
+	for _, r := range text {
+		if capNext && unicode.IsLetter(r) {
+			b.WriteRune(unicode.ToUpper(r))
+			capNext = false
+			continue
+		}
+		if r == '.' || r == '!' || r == '?' || r == '\n' {
+			capNext = true
+		}
+		b.WriteRune(r)
+	}
+	out := b.String()
+	// Standalone pronoun i.
+	fields := strings.Fields(out)
+	for i, f := range fields {
+		if f == "i" {
+			fields[i] = "I"
+		} else if strings.HasPrefix(f, "i'") { // i'm, i've, i'd, i'll
+			fields[i] = "I" + f[1:]
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// normalizePunctuation collapses '!', '!!', '...' and '?!' runs to a single
+// canonical terminator.
+func normalizePunctuation(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '!' || r == '.' || r == '?' {
+			// Absorb the run; emit '?' if any question mark, else '.'.
+			hasQ := r == '?'
+			j := i
+			for j+1 < len(runes) && (runes[j+1] == '!' || runes[j+1] == '.' || runes[j+1] == '?') {
+				j++
+				if runes[j] == '?' {
+					hasQ = true
+				}
+			}
+			if hasQ {
+				b.WriteRune('?')
+			} else {
+				b.WriteRune('.')
+			}
+			i = j
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// stripSpecials removes the Table I special characters and digits.
+func stripSpecials(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	for _, r := range text {
+		switch {
+		case strings.ContainsRune("@#$%^&*+=<>/\\|~`_{}[]", r):
+			// drop
+		case unicode.IsDigit(r):
+			// drop
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

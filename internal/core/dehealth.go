@@ -1,0 +1,687 @@
+// Package core implements the De-Health framework itself (§III, Algorithm 1
+// and Algorithm 2): the two-phase de-anonymization attack consisting of
+// structural Top-K candidate selection over UDA graphs, the optional
+// threshold-vector filtering, and the refined (classifier-based) DA phase
+// with the false-addition and mean-verification open-world schemes.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dehealth/internal/corpus"
+	"dehealth/internal/graph"
+	"dehealth/internal/ml"
+	"dehealth/internal/similarity"
+	"dehealth/internal/stylometry"
+)
+
+// SelectionMethod chooses how Top-K candidate sets are built (§III-B).
+type SelectionMethod int
+
+const (
+	// DirectSelection takes the K auxiliary users with the highest
+	// structural similarity scores.
+	DirectSelection SelectionMethod = iota
+	// GraphMatchingSelection repeatedly extracts a maximum-weight bipartite
+	// matching and appends each user's match to its candidate set.
+	GraphMatchingSelection
+)
+
+// Candidate pairs an auxiliary user with its structural similarity score.
+type Candidate struct {
+	User  int
+	Score float64
+}
+
+// TopKResult is the outcome of the Top-K DA phase.
+type TopKResult struct {
+	// K is the requested candidate set size.
+	K int
+	// Candidates[u] lists the candidates of anonymized user u in decreasing
+	// score order. A nil entry means u was rejected (u -> ⊥) by filtering.
+	Candidates [][]Candidate
+	// TrueRank[u] is the 1-based rank of u's true mapping among all
+	// auxiliary users by similarity score (0 when u has no true mapping or
+	// no ground truth was supplied). Direct-selection ranking; used for the
+	// Fig.3/Fig.5 success CDFs.
+	TrueRank []int
+	// MeanScore[u] is the mean similarity of u to its candidate set at
+	// selection time (λ_u in the mean-verification scheme). Filtering does
+	// not update it: verification compares against the unfiltered Top-K
+	// population so the margin test stays meaningful.
+	MeanScore []float64
+	// RowMin[u] is the minimum similarity of u to any auxiliary user. The
+	// mean-verification margin is computed on row-min-shifted scores
+	// (s - RowMin[u]), which makes the margin scale-free: raw similarity
+	// scores concentrate when most attributes are population-wide, and an
+	// affine shift restores the relative spread the r threshold needs.
+	RowMin []float64
+	// MaxScore and MinScore are the extreme similarity scores observed
+	// across all (u, v) pairs; Algorithm 2 derives its thresholds from them.
+	MaxScore, MinScore float64
+}
+
+// Contains reports whether v is in u's candidate set.
+func (t *TopKResult) Contains(u, v int) bool {
+	for _, c := range t.Candidates[u] {
+		if c.User == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Pipeline owns the artifacts shared by both DA phases: the fitted feature
+// extractor, the two UDA graphs and the structural similarity scorer.
+type Pipeline struct {
+	Anon, Aux *corpus.Dataset
+	Extractor *stylometry.Extractor
+	G1, G2    *graph.UDA
+	Scorer    *similarity.Scorer
+}
+
+// NewPipeline builds the UDA graphs of the anonymized and auxiliary datasets
+// and prepares the similarity scorer. The POS-bigram feature block is fitted
+// on the auxiliary texts (the adversary's data), with maxBigrams capping its
+// size (<= 0 uses the default).
+func NewPipeline(anon, aux *corpus.Dataset, simCfg similarity.Config, maxBigrams int) *Pipeline {
+	ex := stylometry.New()
+	ex.FitBigrams(aux.Texts(), maxBigrams)
+	g1 := graph.BuildUDA(anon, ex)
+	g2 := graph.BuildUDA(aux, ex)
+	return &Pipeline{
+		Anon: anon, Aux: aux,
+		Extractor: ex,
+		G1:        g1, G2: g2,
+		Scorer: similarity.NewScorer(g1, g2, simCfg),
+	}
+}
+
+// TopK runs the Top-K DA phase (Algorithm 1, lines 2–5). trueMapping is
+// optional evaluation ground truth (anon user -> aux user) used only to
+// compute TrueRank; pass nil in attack settings.
+//
+// Rows of the similarity matrix are computed in parallel and discarded after
+// candidate extraction, so memory stays O(|V1|·K) for direct selection.
+// GraphMatchingSelection materializes the full matrix and is intended for
+// the small refined-DA datasets.
+func (p *Pipeline) TopK(k int, method SelectionMethod, trueMapping map[int]int) *TopKResult {
+	if k < 1 {
+		panic(fmt.Sprintf("core: K must be >= 1, got %d", k))
+	}
+	switch method {
+	case DirectSelection:
+		return p.topKDirect(k, trueMapping)
+	case GraphMatchingSelection:
+		return p.topKMatching(k, trueMapping)
+	default:
+		panic(fmt.Sprintf("core: unknown selection method %d", method))
+	}
+}
+
+func (p *Pipeline) topKDirect(k int, trueMapping map[int]int) *TopKResult {
+	n1, n2 := p.G1.NumNodes(), p.G2.NumNodes()
+	res := &TopKResult{
+		K:          k,
+		Candidates: make([][]Candidate, n1),
+		TrueRank:   make([]int, n1),
+		MeanScore:  make([]float64, n1),
+		RowMin:     make([]float64, n1),
+	}
+	maxs := make([]float64, n1)
+	mins := make([]float64, n1)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n1 {
+		workers = n1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := make([]float64, n2)
+			for u := range rows {
+				for v := 0; v < n2; v++ {
+					row[v] = p.Scorer.Score(u, v)
+				}
+				res.Candidates[u] = topCandidates(row, k)
+				res.MeanScore[u] = meanScore(res.Candidates[u])
+				maxs[u], mins[u] = rowExtremes(row)
+				res.RowMin[u] = mins[u]
+				if trueMapping != nil {
+					if tv, ok := trueMapping[u]; ok {
+						res.TrueRank[u] = rankOf(row, tv)
+					}
+				}
+			}
+		}()
+	}
+	for u := 0; u < n1; u++ {
+		rows <- u
+	}
+	close(rows)
+	wg.Wait()
+
+	res.MaxScore, res.MinScore = extremes(maxs, mins)
+	return res
+}
+
+// topCandidates returns the k highest-scoring columns of row, sorted
+// descending (ties by smaller index).
+func topCandidates(row []float64, k int) []Candidate {
+	if k > len(row) {
+		k = len(row)
+	}
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection: simple full sort is fine at these sizes and keeps
+	// ordering deterministic.
+	sort.Slice(idx, func(a, b int) bool {
+		if row[idx[a]] != row[idx[b]] {
+			return row[idx[a]] > row[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]Candidate, k)
+	for i := 0; i < k; i++ {
+		out[i] = Candidate{User: idx[i], Score: row[idx[i]]}
+	}
+	return out
+}
+
+// meanScore averages candidate scores (λ_u).
+func meanScore(cs []Candidate) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range cs {
+		s += c.Score
+	}
+	return s / float64(len(cs))
+}
+
+// rankOf returns the 1-based rank of column v in row (1 = highest score;
+// ties count scores strictly greater plus earlier-index equal scores, which
+// matches the deterministic candidate ordering).
+func rankOf(row []float64, v int) int {
+	r := 1
+	for j, s := range row {
+		if s > row[v] || (s == row[v] && j < v) {
+			r++
+		}
+	}
+	return r
+}
+
+func rowExtremes(row []float64) (mx, mn float64) {
+	mx, mn = row[0], row[0]
+	for _, s := range row[1:] {
+		if s > mx {
+			mx = s
+		}
+		if s < mn {
+			mn = s
+		}
+	}
+	return mx, mn
+}
+
+func extremes(maxs, mins []float64) (mx, mn float64) {
+	if len(maxs) == 0 {
+		return 0, 0
+	}
+	mx, mn = maxs[0], mins[0]
+	for i := 1; i < len(maxs); i++ {
+		if maxs[i] > mx {
+			mx = maxs[i]
+		}
+		if mins[i] < mn {
+			mn = mins[i]
+		}
+	}
+	return mx, mn
+}
+
+func (p *Pipeline) topKMatching(k int, trueMapping map[int]int) *TopKResult {
+	n1, n2 := p.G1.NumNodes(), p.G2.NumNodes()
+	scores := p.Scorer.ScoreMatrix()
+	res := &TopKResult{
+		K:          k,
+		Candidates: make([][]Candidate, n1),
+		TrueRank:   make([]int, n1),
+		MeanScore:  make([]float64, n1),
+		RowMin:     make([]float64, n1),
+	}
+	if trueMapping != nil {
+		for u := 0; u < n1; u++ {
+			if tv, ok := trueMapping[u]; ok {
+				res.TrueRank[u] = rankOf(scores[u], tv)
+			}
+		}
+	}
+
+	// Working copy: matched edges are struck out with -inf sentinels.
+	work := make([][]float64, n1)
+	for u := range scores {
+		work[u] = append([]float64(nil), scores[u]...)
+		res.MaxScore, res.MinScore = rowMergeExtremes(res, u, scores[u])
+		_, res.RowMin[u] = rowExtremes(scores[u])
+	}
+	const struck = -1e18
+	rounds := k
+	if n2 < n1 {
+		// Not all anonymized users can be matched each round; still run k
+		// rounds, collecting what each round yields.
+		rounds = k
+	}
+	exact := n1*n2 <= 250_000
+	for r := 0; r < rounds; r++ {
+		var match []int
+		if exact {
+			match = maxWeightMatch(work)
+		} else {
+			match = greedyMatch(work)
+		}
+		progress := false
+		for u, v := range match {
+			if v < 0 || work[u][v] == struck {
+				continue
+			}
+			res.Candidates[u] = append(res.Candidates[u], Candidate{User: v, Score: scores[u][v]})
+			work[u][v] = struck
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	// Keep candidate lists sorted by decreasing score for downstream code.
+	for u := range res.Candidates {
+		cs := res.Candidates[u]
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].Score != cs[b].Score {
+				return cs[a].Score > cs[b].Score
+			}
+			return cs[a].User < cs[b].User
+		})
+		res.MeanScore[u] = meanScore(cs)
+	}
+	return res
+}
+
+func rowMergeExtremes(res *TopKResult, u int, row []float64) (mx, mn float64) {
+	rmx, rmn := rowExtremes(row)
+	if u == 0 {
+		return rmx, rmn
+	}
+	mx, mn = res.MaxScore, res.MinScore
+	if rmx > mx {
+		mx = rmx
+	}
+	if rmn < mn {
+		mn = rmn
+	}
+	return mx, mn
+}
+
+// FilterConfig parametrizes Algorithm 2.
+type FilterConfig struct {
+	// Epsilon is the ε offset above the global minimum score (default 0.01).
+	Epsilon float64
+	// L is the threshold vector length l (default 10).
+	L int
+}
+
+// Filter applies the Algorithm 2 threshold-vector filtering to tk in place:
+// each candidate set is cut at the highest threshold level that leaves it
+// non-empty; users whose candidates all fall below the smallest threshold
+// are rejected (candidate set becomes nil, meaning u -> ⊥).
+func (p *Pipeline) Filter(tk *TopKResult, cfg FilterConfig) {
+	if cfg.L <= 1 {
+		cfg.L = 10
+	}
+	if cfg.Epsilon < 0 {
+		cfg.Epsilon = 0.01
+	}
+	su := tk.MaxScore
+	sl := tk.MinScore + cfg.Epsilon
+	if sl > su {
+		sl = su
+	}
+	for u, cs := range tk.Candidates {
+		if cs == nil {
+			continue
+		}
+		var kept []Candidate
+		for i := 0; i < cfg.L; i++ {
+			ti := su - float64(i)/float64(cfg.L-1)*(su-sl)
+			kept = kept[:0]
+			for _, c := range cs {
+				if c.Score >= ti {
+					kept = append(kept, c)
+				}
+			}
+			if len(kept) > 0 {
+				tk.Candidates[u] = append([]Candidate(nil), kept...)
+				break
+			}
+		}
+		if len(kept) == 0 {
+			tk.Candidates[u] = nil // u -> ⊥
+		}
+	}
+}
+
+// OpenWorldScheme selects the open-world handling of the refined DA phase.
+type OpenWorldScheme int
+
+const (
+	// ClosedWorld accepts the classifier output unconditionally.
+	ClosedWorld OpenWorldScheme = iota
+	// FalseAddition adds K' random non-candidate users as decoy classes; a
+	// decoy prediction means u -> ⊥.
+	FalseAddition
+	// MeanVerification accepts u -> v only when s_uv >= (1+r)·mean
+	// similarity of u to its candidates (row-min shifted; see TopKResult).
+	MeanVerification
+	// SigmaVerification accepts u -> v only when the classifier's score for
+	// v stands Sigma standard deviations above the other candidates'
+	// scores (Stolerman et al.'s Classify-Verify).
+	SigmaVerification
+	// DistractorlessVerification accepts u -> v only when the cosine
+	// between u's and v's aggregate stylometric profiles reaches
+	// CosineThreshold (Noecker & Ryan).
+	DistractorlessVerification
+)
+
+// RefineOptions parametrizes the refined DA phase.
+type RefineOptions struct {
+	// NewClassifier constructs a fresh classifier per anonymized user.
+	NewClassifier func() ml.Classifier
+	// Scheme is the open-world scheme (default ClosedWorld).
+	Scheme OpenWorldScheme
+	// R is the mean-verification margin r >= 0 (paper uses 0.25).
+	R float64
+	// Sigma is the SigmaVerification threshold in standard deviations
+	// (typical operating points: 0.5–2).
+	Sigma float64
+	// CosineThreshold is the DistractorlessVerification acceptance level
+	// (typical operating points: 0.95–0.999, profiles are highly aligned).
+	CosineThreshold float64
+	// KPrime is the number of decoy users for FalseAddition; <= 0 means
+	// |Cu| decoys, as suggested in §III-B.
+	KPrime int
+	// Seed drives decoy sampling.
+	Seed int64
+}
+
+// DAResult is the final outcome of De-Health for each anonymized user.
+type DAResult struct {
+	// Mapping[u] is the de-anonymized auxiliary user, or -1 for u -> ⊥.
+	Mapping []int
+}
+
+// RefinedDA runs the second phase (Algorithm 1, lines 7–9): per anonymized
+// user, train a classifier on the candidate users' auxiliary posts
+// (stylometric vector ⊕ owner structural vector) and classify the
+// anonymized user's posts, aggregating per-post scores.
+func (p *Pipeline) RefinedDA(tk *TopKResult, opt RefineOptions) (*DAResult, error) {
+	if opt.NewClassifier == nil {
+		return nil, fmt.Errorf("core: RefineOptions.NewClassifier is required")
+	}
+	n1 := p.G1.NumNodes()
+	res := &DAResult{Mapping: make([]int, n1)}
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+
+	type job struct{ u int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	errs := make([]error, n1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	seeds := make([]int64, n1)
+	for u := 0; u < n1; u++ {
+		seeds[u] = rng.Int63()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				m, err := p.refineUser(j.u, tk, opt, seeds[j.u])
+				res.Mapping[j.u] = m
+				errs[j.u] = err
+			}
+		}()
+	}
+	for u := 0; u < n1; u++ {
+		jobs <- job{u}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// refineUser de-anonymizes a single user; returns the aux user or -1 (⊥).
+func (p *Pipeline) refineUser(u int, tk *TopKResult, opt RefineOptions, seed int64) (int, error) {
+	cands := tk.Candidates[u]
+	if cands == nil {
+		return -1, nil // rejected by filtering
+	}
+	if len(p.G1.PostVectors[u]) == 0 {
+		return -1, nil // nothing to classify
+	}
+
+	classes := make([]int, 0, len(cands)*2) // aux user per class
+	for _, c := range cands {
+		classes = append(classes, c.User)
+	}
+	numReal := len(classes)
+
+	if opt.Scheme == FalseAddition {
+		kp := opt.KPrime
+		if kp <= 0 {
+			kp = len(cands)
+		}
+		inCu := map[int]bool{}
+		for _, c := range cands {
+			inCu[c.User] = true
+		}
+		n2 := p.G2.NumNodes()
+		pool := make([]int, 0, n2-len(inCu))
+		for v := 0; v < n2; v++ {
+			if !inCu[v] {
+				pool = append(pool, v)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		if kp > len(pool) {
+			kp = len(pool)
+		}
+		classes = append(classes, pool[:kp]...)
+	}
+
+	// Assemble the training set.
+	var X [][]float64
+	var y []int
+	for ci, v := range classes {
+		sv := p.Scorer.StructuralVector(2, v)
+		for _, pv := range p.G2.PostVectors[v] {
+			X = append(X, concat(pv, sv))
+			y = append(y, ci)
+		}
+	}
+	if len(X) == 0 {
+		return -1, nil
+	}
+	clf := opt.NewClassifier()
+	if err := clf.Fit(X, y); err != nil {
+		return 0, fmt.Errorf("core: training classifier for anon user %d: %w", u, err)
+	}
+
+	// Classify u's posts and aggregate scores.
+	su := p.Scorer.StructuralVector(1, u)
+	total := make([]float64, len(classes))
+	for _, pv := range p.G1.PostVectors[u] {
+		scores := clf.Scores(concat(pv, su))
+		for i, s := range scores {
+			if i < len(total) {
+				total[i] += s
+			}
+		}
+	}
+	best := ml.ArgMax(total)
+	if best < 0 {
+		return -1, nil
+	}
+	if opt.Scheme == FalseAddition && best >= numReal {
+		return -1, nil // classified to a decoy: u -> ⊥
+	}
+	v := classes[best]
+
+	switch opt.Scheme {
+	case MeanVerification:
+		mean := tk.MeanScore[u]
+		if mean == 0 {
+			mean = meanScore(cands)
+		}
+		if !verifyMean(p.Scorer.Score(u, v), mean, tk.RowMin[u], opt.R) {
+			return -1, nil // verification rejected: u -> ⊥
+		}
+	case SigmaVerification:
+		if !sigmaVerify(total[:numReal], best, opt.Sigma) {
+			return -1, nil
+		}
+	case DistractorlessVerification:
+		if !distractorlessVerify(p.G1.PostVectors[u], p.G2.PostVectors[v], opt.CosineThreshold) {
+			return -1, nil
+		}
+	}
+	return v, nil
+}
+
+// verifyMean implements the mean-verification acceptance test on row-min
+// shifted scores: accept u -> v iff (s_uv − m) >= (1+r)·(λ_u − m), where m
+// is the row minimum. The shift makes r a relative margin over the spread
+// of u's similarity row rather than its absolute location.
+func verifyMean(suv, mean, rowMin, r float64) bool {
+	shiftedTop := suv - rowMin
+	shiftedMean := mean - rowMin
+	if shiftedMean <= 0 {
+		return shiftedTop > 0
+	}
+	return shiftedTop >= (1+r)*shiftedMean
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// StylometryBaseline runs the comparison method of §V ("Stylometry"): the
+// refined-DA classifier over the whole auxiliary user set, without the
+// Top-K phase — equivalent to RefinedDA with Cu = V2 for every user. Since
+// the candidate set is the same for everyone, a single classifier is
+// trained and shared across all anonymized users.
+func (p *Pipeline) StylometryBaseline(opt RefineOptions) (*DAResult, error) {
+	if opt.NewClassifier == nil {
+		return nil, fmt.Errorf("core: RefineOptions.NewClassifier is required")
+	}
+	n1, n2 := p.G1.NumNodes(), p.G2.NumNodes()
+
+	var X [][]float64
+	var y []int
+	for v := 0; v < n2; v++ {
+		sv := p.Scorer.StructuralVector(2, v)
+		for _, pv := range p.G2.PostVectors[v] {
+			X = append(X, concat(pv, sv))
+			y = append(y, v)
+		}
+	}
+	clf := opt.NewClassifier()
+	if err := clf.Fit(X, y); err != nil {
+		return nil, fmt.Errorf("core: training stylometry baseline: %w", err)
+	}
+
+	res := &DAResult{Mapping: make([]int, n1)}
+	var wg sync.WaitGroup
+	users := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range users {
+				res.Mapping[u] = p.baselineUser(u, clf, n2, opt)
+			}
+		}()
+	}
+	for u := 0; u < n1; u++ {
+		users <- u
+	}
+	close(users)
+	wg.Wait()
+	return res, nil
+}
+
+// baselineUser classifies one anonymized user with the shared baseline
+// classifier, applying mean-verification over the whole auxiliary set when
+// requested.
+func (p *Pipeline) baselineUser(u int, clf ml.Classifier, n2 int, opt RefineOptions) int {
+	if len(p.G1.PostVectors[u]) == 0 {
+		return -1
+	}
+	su := p.Scorer.StructuralVector(1, u)
+	total := make([]float64, n2)
+	for _, pv := range p.G1.PostVectors[u] {
+		scores := clf.Scores(concat(pv, su))
+		for i, s := range scores {
+			if i < len(total) {
+				total[i] += s
+			}
+		}
+	}
+	best := ml.ArgMax(total)
+	if best < 0 {
+		return -1
+	}
+	if opt.Scheme == MeanVerification {
+		mean, rowMin := 0.0, 0.0
+		for v := 0; v < n2; v++ {
+			s := p.Scorer.Score(u, v)
+			mean += s
+			if v == 0 || s < rowMin {
+				rowMin = s
+			}
+		}
+		mean /= float64(n2)
+		if !verifyMean(p.Scorer.Score(u, best), mean, rowMin, opt.R) {
+			return -1
+		}
+	}
+	return best
+}

@@ -1,0 +1,11 @@
+package core
+
+import "dehealth/internal/bipartite"
+
+// maxWeightMatch and greedyMatch adapt the bipartite package to the Top-K
+// graph-matching selection loop. The exact algorithm is used when the score
+// matrix is small enough; the greedy 1/2-approximation otherwise.
+
+func maxWeightMatch(w [][]float64) []int { return bipartite.MaxWeightMatching(w) }
+
+func greedyMatch(w [][]float64) []int { return bipartite.GreedyMatching(w) }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+
+	"dehealth/internal/similarity"
+	"dehealth/internal/stylometry"
+)
+
+// The paper notes (§III-B) that the DA verification step "can also be
+// implemented using other techniques, e.g., distractorless verification
+// [45], Sigma verification [32]". Both are implemented here as additional
+// open-world schemes.
+
+// sigmaVerify implements Stolerman et al.'s Sigma verification: the
+// classifier's aggregate score for the predicted class must stand at least
+// sigma standard deviations above the mean score of the other candidate
+// classes. With fewer than two other classes the test degenerates to
+// requiring a strictly positive margin.
+func sigmaVerify(totals []float64, best int, sigma float64) bool {
+	if len(totals) < 2 {
+		return true
+	}
+	var sum, sumSq float64
+	n := 0
+	for i, s := range totals {
+		if i == best {
+			continue
+		}
+		sum += s
+		sumSq += s * s
+		n++
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sd := math.Sqrt(variance)
+	if sd == 0 {
+		return totals[best] > mean
+	}
+	return (totals[best]-mean)/sd >= sigma
+}
+
+// distractorlessVerify implements Noecker & Ryan's distractorless
+// verification: the anonymized user's aggregate stylometric profile must be
+// close enough to the predicted author's profile, with no reference to the
+// other candidates. Profiles are the mean post vectors; closeness is cosine
+// similarity, accepted at or above threshold.
+func distractorlessVerify(anonPosts, auxPosts [][]float64, threshold float64) bool {
+	pu := stylometry.MeanVector(anonPosts)
+	pv := stylometry.MeanVector(auxPosts)
+	if pu == nil || pv == nil {
+		return false
+	}
+	return similarity.Cosine(pu, pv) >= threshold
+}

@@ -1,0 +1,222 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split is the outcome of partitioning a dataset into anonymized data Δ1 and
+// auxiliary data Δ2, together with the evaluation ground truth.
+type Split struct {
+	// Anon is Δ1: the anonymized dataset. Usernames are replaced by random
+	// IDs; user indices are re-densified.
+	Anon *Dataset
+	// Aux is Δ2: the auxiliary (training) dataset.
+	Aux *Dataset
+	// TrueMapping maps an Anon user index to its Aux user index, for
+	// anonymized users that exist in the auxiliary data (overlapping users).
+	// Anonymized users absent from Aux have no entry (open world).
+	TrueMapping map[int]int
+}
+
+// NumOverlapping returns |V_o|, the number of anonymized users with a true
+// mapping in the auxiliary data.
+func (s *Split) NumOverlapping() int { return len(s.TrueMapping) }
+
+// SplitClosedWorld partitions each user's posts: every post lands in the
+// auxiliary side with probability auxFrac, otherwise in the anonymized side
+// (§V-A: "randomly taking 50%, 70%, and 90% of each user's data as auxiliary
+// data and the rest as anonymized data"). Users end up in a side only if
+// they have at least one post there, so a closed-world split of a dataset
+// with single-post users still produces some anonymized users without true
+// mappings in Aux; evaluation only scores users with mappings, as the paper
+// does.
+func SplitClosedWorld(d *Dataset, auxFrac float64, rng *rand.Rand) *Split {
+	if auxFrac <= 0 || auxFrac >= 1 {
+		panic(fmt.Sprintf("corpus: auxFrac must be in (0,1), got %v", auxFrac))
+	}
+	byUser := d.PostsByUser()
+	toAux := make([]bool, len(d.Posts))
+	for _, idxs := range byUser {
+		if len(idxs) == 1 {
+			toAux[idxs[0]] = rng.Float64() < auxFrac
+			continue
+		}
+		// Take round(auxFrac * n) posts for aux, at least 1 on each side
+		// when n >= 2, matching the paper's per-user percentage split.
+		n := len(idxs)
+		k := int(auxFrac*float64(n) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > n-1 {
+			k = n - 1
+		}
+		perm := rng.Perm(n)
+		for i := 0; i < k; i++ {
+			toAux[idxs[perm[i]]] = true
+		}
+	}
+	return assemble(d, toAux, rng)
+}
+
+// OpenWorldOverlap partitions the dataset's users into an anonymized side
+// and an auxiliary side with the same number of users each and an
+// overlapping-user ratio of ratio, following footnote 10: with x overlapping
+// and y exclusive users per side, x + 2y = n and x/(x+y) = ratio.
+// Overlapping users have half their posts on each side; exclusive users keep
+// all posts on their side. Users need >= 2 posts to be overlap candidates.
+func OpenWorldOverlap(d *Dataset, ratio float64, rng *rand.Rand) *Split {
+	if ratio <= 0 || ratio > 1 {
+		panic(fmt.Sprintf("corpus: overlap ratio must be in (0,1], got %v", ratio))
+	}
+	n := len(d.Users)
+	// x + 2y = n, x/(x+y) = ratio  =>  x = n*ratio/(2-ratio).
+	x := int(float64(n)*ratio/(2-ratio) + 0.5)
+	y := (n - x) / 2
+	if x < 1 {
+		x = 1
+	}
+
+	// Overlap candidates need at least 2 posts so both sides see them.
+	byUser := d.PostsByUser()
+	var multi, single []int
+	for u, idxs := range byUser {
+		if len(idxs) >= 2 {
+			multi = append(multi, u)
+		} else {
+			single = append(single, u)
+		}
+	}
+	if len(multi) < x {
+		x = len(multi)
+	}
+	rng.Shuffle(len(multi), func(i, j int) { multi[i], multi[j] = multi[j], multi[i] })
+	overlap := multi[:x]
+	rest := append(append([]int{}, multi[x:]...), single...)
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	if 2*y > len(rest) {
+		y = len(rest) / 2
+	}
+	anonOnly := rest[:y]
+	auxOnly := rest[y : 2*y]
+
+	// toSide: 0 = dropped, 1 = anon, 2 = aux.
+	side := make([]int, len(d.Posts))
+	for _, u := range overlap {
+		idxs := byUser[u]
+		perm := rng.Perm(len(idxs))
+		half := len(idxs) / 2
+		if half < 1 {
+			half = 1
+		}
+		for i, pi := range perm {
+			if i < half {
+				side[idxs[pi]] = 1
+			} else {
+				side[idxs[pi]] = 2
+			}
+		}
+	}
+	for _, u := range anonOnly {
+		for _, pi := range byUser[u] {
+			side[pi] = 1
+		}
+	}
+	for _, u := range auxOnly {
+		for _, pi := range byUser[u] {
+			side[pi] = 2
+		}
+	}
+
+	toAux := make([]bool, len(d.Posts))
+	dropped := make([]bool, len(d.Posts))
+	for i, s := range side {
+		switch s {
+		case 0:
+			dropped[i] = true
+		case 2:
+			toAux[i] = true
+		}
+	}
+	return assembleWithDrops(d, toAux, dropped, rng)
+}
+
+// assemble builds a Split from a per-post aux assignment.
+func assemble(d *Dataset, toAux []bool, rng *rand.Rand) *Split {
+	return assembleWithDrops(d, toAux, make([]bool, len(d.Posts)), rng)
+}
+
+// assembleWithDrops builds the two datasets. Posts with dropped[i] true are
+// excluded from both sides.
+func assembleWithDrops(d *Dataset, toAux, dropped []bool, rng *rand.Rand) *Split {
+	anon := &Dataset{Name: d.Name + "-anon"}
+	aux := &Dataset{Name: d.Name + "-aux"}
+	anonUser := map[int]int{} // original -> anon index
+	auxUser := map[int]int{}  // original -> aux index
+	anonThread := map[int]int{}
+	auxThread := map[int]int{}
+
+	userOn := func(ds *Dataset, m map[int]int, orig int, anonymize bool) int {
+		if id, ok := m[orig]; ok {
+			return id
+		}
+		id := len(ds.Users)
+		m[orig] = id
+		u := d.Users[orig]
+		u.ID = id
+		if anonymize {
+			u.Name = fmt.Sprintf("anon-%08x", rng.Uint32())
+		}
+		ds.Users = append(ds.Users, u)
+		return id
+	}
+	threadOn := func(ds *Dataset, tm map[int]int, um map[int]int, orig int, anonymize bool) int {
+		if id, ok := tm[orig]; ok {
+			return id
+		}
+		id := len(ds.Threads)
+		tm[orig] = id
+		t := d.Threads[orig]
+		starter := t.Starter
+		// The thread starter may not be on this side; keep the board but
+		// re-attribute the starter to the first poster on this side.
+		var newStarter int
+		if s, ok := um[starter]; ok {
+			newStarter = s
+		} else {
+			newStarter = -1 // fixed up by caller after the first post lands
+		}
+		ds.Threads = append(ds.Threads, Thread{ID: id, Board: t.Board, Starter: newStarter})
+		return id
+	}
+
+	for i, p := range d.Posts {
+		if dropped[i] {
+			continue
+		}
+		if toAux[i] {
+			u := userOn(aux, auxUser, p.User, false)
+			t := threadOn(aux, auxThread, auxUser, p.Thread, false)
+			if aux.Threads[t].Starter < 0 {
+				aux.Threads[t].Starter = u
+			}
+			aux.Posts = append(aux.Posts, Post{ID: len(aux.Posts), User: u, Thread: t, Text: p.Text})
+		} else {
+			u := userOn(anon, anonUser, p.User, true)
+			t := threadOn(anon, anonThread, anonUser, p.Thread, true)
+			if anon.Threads[t].Starter < 0 {
+				anon.Threads[t].Starter = u
+			}
+			anon.Posts = append(anon.Posts, Post{ID: len(anon.Posts), User: u, Thread: t, Text: p.Text})
+		}
+	}
+
+	mapping := map[int]int{}
+	for orig, ai := range anonUser {
+		if xi, ok := auxUser[orig]; ok {
+			mapping[ai] = xi
+		}
+	}
+	return &Split{Anon: anon, Aux: aux, TrueMapping: mapping}
+}

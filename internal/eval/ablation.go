@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dehealth/internal/core"
+	"dehealth/internal/corpus"
+	"dehealth/internal/similarity"
+)
+
+// AblationWeights sweeps the similarity-weight split between the structural
+// components (c1, c2) and the attribute component (c3), measuring Top-K
+// success — the ablation behind the paper's default c = (0.05, 0.05, 0.9)
+// ("the degree and distance do not provide much useful information in
+// distinguishing different users for the two leveraged datasets").
+func AblationWeights(c *Corpora, k int) Table {
+	if k <= 0 {
+		k = 50
+	}
+	rng := rand.New(rand.NewSource(c.Scale.Seed + 77))
+	split := corpus.SplitClosedWorld(c.WebMD, 0.5, rng)
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: similarity weights (closed-world WebMD, Top-%d success)", k),
+		Header: []string{"c1 (degree)", "c2 (distance)", "c3 (attribute)", fmt.Sprintf("top-%d success", k)},
+	}
+	for _, w := range [][3]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+		{0.05, 0.05, 0.9}, // the paper's default
+		{0.45, 0.45, 0.1},
+		{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	} {
+		cfg := similarity.Config{C1: w[0], C2: w[1], C3: w[2], Landmarks: 50}
+		p := core.NewPipeline(split.Anon, split.Aux, cfg, 200)
+		tk := p.TopK(k, core.DirectSelection, split.TrueMapping)
+		cdf := TopKSuccessCDF(tk, split.TrueMapping, []int{k})
+		t.AddRow(
+			fmt.Sprintf("%.2f", w[0]),
+			fmt.Sprintf("%.2f", w[1]),
+			fmt.Sprintf("%.2f", w[2]),
+			fmt.Sprintf("%.4f", cdf[0]),
+		)
+	}
+	return t
+}
+
+// AblationSelection compares the two Top-K candidate-selection strategies
+// of §III-B (direct selection vs repeated maximum-weight graph matching) on
+// a small closed-world split.
+func AblationSelection(seed int64) Table {
+	d, _ := RefinedCorpus(60, 16, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	split := corpus.SplitClosedWorld(d, 0.5, rng)
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+	p := core.NewPipeline(split.Anon, split.Aux, cfg, 100)
+
+	t := Table{
+		Title:  "Ablation: Top-K candidate selection strategy (60 users x 16 posts)",
+		Header: []string{"K", "direct selection", "graph matching"},
+	}
+	for _, k := range []int{1, 3, 5, 10} {
+		direct := p.TopK(k, core.DirectSelection, split.TrueMapping)
+		matching := p.TopK(k, core.GraphMatchingSelection, split.TrueMapping)
+		dHit := containsTruth(direct, split.TrueMapping)
+		mHit := containsTruth(matching, split.TrueMapping)
+		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.4f", dHit), fmt.Sprintf("%.4f", mHit))
+	}
+	return t
+}
+
+// containsTruth measures the fraction of overlapping users whose true
+// mapping appears in their candidate set.
+func containsTruth(tk *core.TopKResult, trueMapping map[int]int) float64 {
+	if len(trueMapping) == 0 {
+		return 0
+	}
+	hits := 0
+	for u, tv := range trueMapping {
+		if tk.Contains(u, tv) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(trueMapping))
+}
+
+// AblationFilter measures the effect of the Algorithm 2 threshold filter on
+// open-world refined DA: candidate-set sizes shrink and some users are
+// rejected before classification.
+func AblationFilter(seed int64) Table {
+	d, _ := RefinedCorpus(90, 16, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	split := corpus.OpenWorldOverlap(d, 0.5, rng)
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+	p := core.NewPipeline(split.Anon, split.Aux, cfg, 100)
+
+	t := Table{
+		Title:  "Ablation: Algorithm 2 filtering (open-world, 50% overlap)",
+		Header: []string{"variant", "mean |Cu|", "rejected (⊥)", "truth kept"},
+	}
+	for _, withFilter := range []bool{false, true} {
+		tk := p.TopK(10, core.DirectSelection, split.TrueMapping)
+		if withFilter {
+			p.Filter(tk, core.FilterConfig{Epsilon: 0.01, L: 10})
+		}
+		size, rejected := 0, 0
+		for _, cs := range tk.Candidates {
+			if cs == nil {
+				rejected++
+				continue
+			}
+			size += len(cs)
+		}
+		kept := containsTruth(tk, split.TrueMapping)
+		meanSize := 0.0
+		if n := len(tk.Candidates) - rejected; n > 0 {
+			meanSize = float64(size) / float64(n)
+		}
+		name := "no filter"
+		if withFilter {
+			name = "filter (ε=0.01, l=10)"
+		}
+		t.AddRow(name, fmt.Sprintf("%.2f", meanSize), fmt.Sprintf("%d", rejected), fmt.Sprintf("%.4f", kept))
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+// Package eval provides the metrics, report rendering and experiment
+// runners that regenerate every table and figure of the paper's evaluation
+// (§II data statistics, §V closed/open-world DA, §VI linkage attack, §IV
+// theory), at a configurable scale.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"dehealth/internal/core"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned ASCII.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// RenderSeries renders curves as aligned columns (x, then one y per series).
+func RenderSeries(title string, series []Series) string {
+	if len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	t := Table{Title: title, Header: []string{"x"}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for i := range series[0].X {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// TopKSuccessCDF evaluates the Fig.3/Fig.5 success curve: for each K in ks,
+// the fraction of anonymized users with a true mapping whose mapping ranks
+// within the top K by structural similarity.
+func TopKSuccessCDF(tk *core.TopKResult, trueMapping map[int]int, ks []int) []float64 {
+	out := make([]float64, len(ks))
+	n := len(trueMapping)
+	if n == 0 {
+		return out
+	}
+	for i, k := range ks {
+		hits := 0
+		for u := range trueMapping {
+			if r := tk.TrueRank[u]; r > 0 && r <= k {
+				hits++
+			}
+		}
+		out[i] = float64(hits) / float64(n)
+	}
+	return out
+}
+
+// AccuracyFP scores a refined-DA result per the paper's definitions:
+// accuracy = Yc / Y, where Y is the number of anonymized users with true
+// mappings and Yc those de-anonymized correctly; the false-positive rate is
+// the fraction of all anonymized users that received an incorrect non-⊥
+// identification (wrong user, or any user when no true mapping exists).
+func AccuracyFP(result *core.DAResult, trueMapping map[int]int) (acc, fp float64) {
+	y, yc, fps := 0, 0, 0
+	for u, v := range result.Mapping {
+		tv, has := trueMapping[u]
+		if has {
+			y++
+			if v == tv {
+				yc++
+			}
+		}
+		if v >= 0 && (!has || v != tv) {
+			fps++
+		}
+	}
+	if y > 0 {
+		acc = float64(yc) / float64(y)
+	}
+	if n := len(result.Mapping); n > 0 {
+		fp = float64(fps) / float64(n)
+	}
+	return acc, fp
+}

@@ -1,0 +1,423 @@
+// Package graph implements the user correlation graph and its
+// User-Data-Attribute (UDA) extension from §II-B of the De-Health paper.
+//
+// Nodes are users; an undirected edge connects two users who posted under
+// the same thread, weighted by the number of distinct threads they
+// co-discussed. The UDA extension attaches to every user the binary/weighted
+// attribute set derived from the stylometric features.
+//
+// The package also provides the graph analytics used by the paper: degree
+// distributions (Fig.7), connected components and label-propagation
+// communities (Fig.8, Appendix B), landmark distance vectors (the global
+// correlation features), and NCS vectors (the local correlation features).
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dehealth/internal/corpus"
+	"dehealth/internal/stylometry"
+)
+
+// Edge is one endpoint of a weighted undirected edge.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a weighted undirected user correlation graph.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// NewGraph creates an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// AddEdge inserts an undirected edge u—v with weight w, or adds w to the
+// weight of the existing edge. Self-loops are ignored.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		return
+	}
+	g.bump(u, v, w)
+	g.bump(v, u, w)
+}
+
+func (g *Graph) bump(u, v int, w float64) {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			g.adj[u][i].Weight += w
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+}
+
+// Neighbors returns u's adjacency list (shared slice; do not modify).
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree returns d_u, the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// WeightedDegree returns wd_u, the sum of incident edge weights.
+func (g *Graph) WeightedDegree(u int) float64 {
+	var s float64
+	for _, e := range g.adj[u] {
+		s += e.Weight
+	}
+	return s
+}
+
+// EdgeWeight returns the weight of edge u—v, or 0 if absent.
+func (g *Graph) EdgeWeight(u, v int) float64 {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.Weight
+		}
+	}
+	return 0
+}
+
+// NCS returns u's Neighborhood Correlation Strength vector: the incident
+// edge weights in decreasing order (§II-B).
+func (g *Graph) NCS(u int) []float64 {
+	out := make([]float64, len(g.adj[u]))
+	for i, e := range g.adj[u] {
+		out[i] = e.Weight
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// BFSDistances returns hop distances from src to every node; -1 marks
+// unreachable nodes.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[u] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// WeightedDistances returns shortest-path distances from src where an edge
+// of weight w has length 1/w (stronger interaction = closer), computed with
+// Dijkstra. Unreachable nodes get +Inf.
+func (g *Graph) WeightedDistances(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &distHeap{items: []distItem{{node: src, d: 0}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			if e.Weight <= 0 {
+				continue
+			}
+			nd := it.d + 1/e.Weight
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(distItem{node: e.To, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// distHeap is a minimal binary min-heap for Dijkstra.
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int { return len(h.items) }
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].d <= h.items[i].d {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].d < h.items[small].d {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].d < h.items[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// Components labels each node with a connected-component id (0-based,
+// ordered by first-seen node) and returns the labels and component count.
+func (g *Graph) Components() (labels []int, count int) {
+	labels = make([]int, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for s := 0; s < g.n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = count
+		stack := []int{s}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.adj[u] {
+				if labels[e.To] < 0 {
+					labels[e.To] = count
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// LabelPropagation runs weighted synchronous-free label propagation
+// community detection and returns a community label per node and the number
+// of communities. Deterministic for a given rng seed.
+func (g *Graph) LabelPropagation(rng *rand.Rand, maxIter int) (labels []int, count int) {
+	labels = make([]int, g.n)
+	for i := range labels {
+		labels[i] = i
+	}
+	order := rng.Perm(g.n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, u := range order {
+			if len(g.adj[u]) == 0 {
+				continue
+			}
+			// Pick the label with the largest incident weight.
+			weight := map[int]float64{}
+			for _, e := range g.adj[u] {
+				weight[labels[e.To]] += e.Weight
+			}
+			best, bestW := labels[u], weight[labels[u]]
+			// Deterministic tie-break: smallest label wins.
+			keys := make([]int, 0, len(weight))
+			for l := range weight {
+				keys = append(keys, l)
+			}
+			sort.Ints(keys)
+			for _, l := range keys {
+				if weight[l] > bestW {
+					best, bestW = l, weight[l]
+				}
+			}
+			if best != labels[u] {
+				labels[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Re-densify labels.
+	remap := map[int]int{}
+	for i, l := range labels {
+		if _, ok := remap[l]; !ok {
+			remap[l] = len(remap)
+		}
+		labels[i] = remap[l]
+	}
+	return labels, len(remap)
+}
+
+// DegreeFilter returns the subgraph induced by nodes with degree >= minDeg
+// (used by the Fig.8 community-structure views), along with the kept node
+// ids in the original graph.
+func (g *Graph) DegreeFilter(minDeg int) (*Graph, []int) {
+	var keep []int
+	newID := make([]int, g.n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for u := 0; u < g.n; u++ {
+		if g.Degree(u) >= minDeg {
+			newID[u] = len(keep)
+			keep = append(keep, u)
+		}
+	}
+	sub := NewGraph(len(keep))
+	for _, u := range keep {
+		for _, e := range g.adj[u] {
+			if newID[e.To] >= 0 && u < e.To {
+				sub.AddEdge(newID[u], newID[e.To], e.Weight)
+			}
+		}
+	}
+	return sub, keep
+}
+
+// DegreeHistogram returns counts of nodes per degree (index = degree).
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for u := 0; u < g.n; u++ {
+		hist[g.Degree(u)]++
+	}
+	return hist
+}
+
+// DegreeCDF returns, for each x in xs, the fraction of nodes with degree <= x
+// (Fig.7).
+func (g *Graph) DegreeCDF(xs []int) []float64 {
+	degs := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		degs[u] = g.Degree(u)
+	}
+	sort.Ints(degs)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(sort.SearchInts(degs, x+1)) / float64(len(degs))
+	}
+	return out
+}
+
+// AverageDegree returns the mean node degree.
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += g.Degree(u)
+	}
+	return float64(total) / float64(g.n)
+}
+
+// TopDegreeNodes returns the k nodes with the largest degree, in decreasing
+// degree order (ties broken by node id). Used for landmark selection.
+func (g *Graph) TopDegreeNodes(k int) []int {
+	ids := make([]int, g.n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := g.Degree(ids[a]), g.Degree(ids[b])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// BuildCorrelation builds the user correlation graph of a dataset: users i,j
+// are connected iff they posted under the same thread; the edge weight is
+// the number of distinct threads they co-discussed (§II-B).
+func BuildCorrelation(d *corpus.Dataset) *Graph {
+	g := NewGraph(len(d.Users))
+	// Distinct participants per thread.
+	participants := make(map[int][]int, len(d.Threads))
+	seen := map[[2]int]bool{}
+	for _, p := range d.Posts {
+		key := [2]int{p.Thread, p.User}
+		if !seen[key] {
+			seen[key] = true
+			participants[p.Thread] = append(participants[p.Thread], p.User)
+		}
+	}
+	for _, us := range participants {
+		sort.Ints(us)
+		for i := 0; i < len(us); i++ {
+			for j := i + 1; j < len(us); j++ {
+				g.AddEdge(us[i], us[j], 1)
+			}
+		}
+	}
+	return g
+}
+
+// UDA is the User-Data-Attribute graph: the correlation graph plus the
+// per-user attribute sets A(u)/WA(u) derived from stylometric features.
+type UDA struct {
+	*Graph
+	// Attrs[u] is the attribute set of user u.
+	Attrs []stylometry.AttrSet
+	// PostVectors[u] are the stylometric vectors of u's posts (kept for the
+	// refined-DA classifier).
+	PostVectors [][][]float64
+}
+
+// BuildUDA constructs the UDA graph of a dataset with the given extractor.
+func BuildUDA(d *corpus.Dataset, ex *stylometry.Extractor) *UDA {
+	g := BuildCorrelation(d)
+	texts := d.UserTexts()
+	attrs := make([]stylometry.AttrSet, len(d.Users))
+	vecs := make([][][]float64, len(d.Users))
+	for u, ts := range texts {
+		vecs[u] = ex.ExtractAll(ts)
+		attrs[u] = stylometry.UserAttributes(vecs[u])
+	}
+	return &UDA{Graph: g, Attrs: attrs, PostVectors: vecs}
+}

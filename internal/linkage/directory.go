@@ -1,0 +1,73 @@
+package linkage
+
+import "math/bits"
+
+// Profile is a publicly visible account on an external Internet service
+// (social network, people-search site, or another health forum).
+type Profile struct {
+	Service  string
+	Username string
+
+	// Publicly visible identity attributes; zero values mean "not shown".
+	FullName  string
+	City      string
+	BirthYear int
+	Phone     string
+
+	// AvatarHash is the profile photo fingerprint (0 = no photo).
+	AvatarHash uint64
+
+	// PersonID is generator ground truth for scoring only.
+	PersonID int
+}
+
+// Directory indexes the external profiles an adversary can search — the
+// stand-in for web search engines, social-network lookup and Whitepages.
+type Directory struct {
+	Profiles []Profile
+
+	byUsername map[string][]int
+}
+
+// NewDirectory builds a Directory over profiles.
+func NewDirectory(profiles []Profile) *Directory {
+	d := &Directory{Profiles: profiles, byUsername: map[string][]int{}}
+	for i, p := range profiles {
+		d.byUsername[p.Username] = append(d.byUsername[p.Username], i)
+	}
+	return d
+}
+
+// SearchUsername returns the indices of profiles with exactly this username
+// (the "general online search" NameLink performs).
+func (d *Directory) SearchUsername(username string) []int {
+	return d.byUsername[username]
+}
+
+// SearchAvatar returns the indices of profiles whose avatar fingerprint is
+// within maxHamming bits of hash (the reverse-image-search stand-in).
+func (d *Directory) SearchAvatar(hash uint64, maxHamming int) []int {
+	if hash == 0 {
+		return nil
+	}
+	var out []int
+	for i, p := range d.Profiles {
+		if p.AvatarHash == 0 {
+			continue
+		}
+		if bits.OnesCount64(p.AvatarHash^hash) <= maxHamming {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Usernames returns every username in the directory (the adversary's
+// entropy-model training corpus).
+func (d *Directory) Usernames() []string {
+	out := make([]string, len(d.Profiles))
+	for i, p := range d.Profiles {
+		out[i] = p.Username
+	}
+	return out
+}

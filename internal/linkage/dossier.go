@@ -1,0 +1,212 @@
+package linkage
+
+import (
+	"dehealth/internal/corpus"
+)
+
+// Dossier aggregates everything the attack learned about one forum user —
+// the §VI outcome ("full names, medical/health information, birthdates,
+// phone numbers, addresses ...").
+type Dossier struct {
+	// User is the forum user index.
+	User int
+	// Links are the accepted external links.
+	Links []Link
+	// Services lists the distinct external services reached.
+	Services []string
+	// FullName, City, BirthYear and Phone aggregate the identity attributes
+	// across linked profiles (first non-empty value wins).
+	FullName  string
+	City      string
+	BirthYear int
+	Phone     string
+	// PostCount is the number of medical posts now attributable to the
+	// identified person.
+	PostCount int
+}
+
+// Aggregate merges NameLink and AvatarLink results into per-user dossiers
+// and cross-validates: when both techniques link the same user, they must
+// agree on the person, otherwise both links are dropped (the manual
+// validation step of §VI-B).
+func Aggregate(d *corpus.Dataset, dir *Directory, linkSets ...[]Link) []Dossier {
+	byUser := map[int][]Link{}
+	for _, set := range linkSets {
+		for _, l := range set {
+			byUser[l.User] = append(byUser[l.User], l)
+		}
+	}
+	postCount := make([]int, len(d.Users))
+	for _, p := range d.Posts {
+		postCount[p.User]++
+	}
+
+	var out []Dossier
+	for user, links := range byUser {
+		// Cross-validation: all links must point at the same person when
+		// ground-truthable attributes conflict. We use profile identity
+		// consistency: distinct (FullName, City) pairs that disagree kill
+		// the dossier.
+		if conflicting(dir, links) {
+			continue
+		}
+		ds := Dossier{User: user, Links: links, PostCount: postCount[user]}
+		seen := map[string]bool{}
+		for _, l := range links {
+			p := dir.Profiles[l.Profile]
+			if !seen[p.Service] {
+				seen[p.Service] = true
+				ds.Services = append(ds.Services, p.Service)
+			}
+			if ds.FullName == "" {
+				ds.FullName = p.FullName
+			}
+			if ds.City == "" {
+				ds.City = p.City
+			}
+			if ds.BirthYear == 0 {
+				ds.BirthYear = p.BirthYear
+			}
+			if ds.Phone == "" {
+				ds.Phone = p.Phone
+			}
+		}
+		out = append(out, ds)
+	}
+	return out
+}
+
+// conflicting reports whether the user's links point at visibly different
+// people.
+func conflicting(dir *Directory, links []Link) bool {
+	name := ""
+	for _, l := range links {
+		p := dir.Profiles[l.Profile]
+		if p.FullName == "" {
+			continue
+		}
+		if name == "" {
+			name = p.FullName
+		} else if name != p.FullName {
+			return true
+		}
+	}
+	return false
+}
+
+// Score compares links against ground truth and returns (correct, total):
+// a link is correct when the forum user's TrueIdentity equals the linked
+// profile's PersonID.
+func Score(d *corpus.Dataset, dir *Directory, links []Link) (correct, total int) {
+	for _, l := range links {
+		total++
+		if d.Users[l.User].TrueIdentity >= 0 &&
+			d.Users[l.User].TrueIdentity == dir.Profiles[l.Profile].PersonID {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+// ScoreCrossForum compares cross-forum pairs against ground truth.
+func ScoreCrossForum(a, b *corpus.Dataset, pairs [][2]int) (correct, total int) {
+	for _, p := range pairs {
+		total++
+		ta, tb := a.Users[p[0]].TrueIdentity, b.Users[p[1]].TrueIdentity
+		if ta >= 0 && ta == tb {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+// CrossForumGain summarizes the §VI-A information-aggregation payoff of
+// linking users of one forum to another: identity attributes the target
+// forum publishes that the source forum withholds.
+type CrossForumGain struct {
+	// Pairs is the number of cross-forum links.
+	Pairs int
+	// GainedLocation counts source users with no public location whose
+	// linked account exposes one.
+	GainedLocation int
+	// GainedAge counts source users with no public age whose linked
+	// account exposes one.
+	GainedAge int
+}
+
+// AggregateCrossForum measures what linking users of a to users of b adds
+// to the attacker's knowledge about a's users.
+func AggregateCrossForum(a, b *corpus.Dataset, pairs [][2]int) CrossForumGain {
+	g := CrossForumGain{Pairs: len(pairs)}
+	for _, p := range pairs {
+		ua, ub := a.Users[p[0]], b.Users[p[1]]
+		if ua.Location == "" && ub.Location != "" {
+			g.GainedLocation++
+		}
+		if ua.Age == 0 && ub.Age != 0 {
+			g.GainedAge++
+		}
+	}
+	return g
+}
+
+// EnrichFromPeopleSearch fills dossier gaps from a people-search service
+// (the paper uses Whitepages): dossiers that already carry a full name are
+// looked up by (name, city when known) and gain phone numbers and birth
+// years. Returns the number of dossiers that gained at least one attribute.
+func EnrichFromPeopleSearch(dossiers []Dossier, dir *Directory, service string) int {
+	type key struct{ name, city string }
+	byIdentity := map[key][]int{}
+	for pi, p := range dir.Profiles {
+		if p.Service != service || p.FullName == "" {
+			continue
+		}
+		byIdentity[key{p.FullName, p.City}] = append(byIdentity[key{p.FullName, p.City}], pi)
+		byIdentity[key{p.FullName, ""}] = append(byIdentity[key{p.FullName, ""}], pi)
+	}
+	enriched := 0
+	for i := range dossiers {
+		d := &dossiers[i]
+		if d.FullName == "" {
+			continue
+		}
+		matches := byIdentity[key{d.FullName, d.City}]
+		if len(matches) == 0 && d.City != "" {
+			continue // name+city known but no record: do not guess
+		}
+		if len(matches) == 0 {
+			matches = byIdentity[key{d.FullName, ""}]
+		}
+		if len(matches) != 1 {
+			continue // ambiguous people-search results are discarded
+		}
+		p := dir.Profiles[matches[0]]
+		gained := false
+		if d.Phone == "" && p.Phone != "" {
+			d.Phone = p.Phone
+			gained = true
+		}
+		if d.BirthYear == 0 && p.BirthYear != 0 {
+			d.BirthYear = p.BirthYear
+			gained = true
+		}
+		if d.City == "" && p.City != "" {
+			d.City = p.City
+			gained = true
+		}
+		if gained {
+			enriched++
+			d.Links = append(d.Links, Link{User: d.User, Profile: matches[0], Via: "peoplesearch"})
+			found := false
+			for _, s := range d.Services {
+				if s == service {
+					found = true
+				}
+			}
+			if !found {
+				d.Services = append(d.Services, service)
+			}
+		}
+	}
+	return enriched
+}

@@ -1,0 +1,84 @@
+// Package linkage implements the §VI linkage attack framework: NameLink
+// (username-based linkage across services, driven by a Perito-style
+// username entropy model) and AvatarLink (avatar-reuse linkage via
+// perceptual-fingerprint matching), plus the information-aggregation and
+// cross-validation layer that assembles per-victim dossiers.
+package linkage
+
+import (
+	"math"
+	"strings"
+)
+
+// EntropyModel estimates how unlikely — and therefore how identifying — a
+// username is, following Perito et al. ("How unique and traceable are
+// usernames?"): a character-level Markov model of usernames yields
+// P(username); the information content −log2 P is the username's entropy.
+// High-entropy usernames are almost surely unique to one person.
+type EntropyModel struct {
+	order  int
+	counts map[string]map[rune]float64 // context -> next-rune counts
+	totals map[string]float64
+	vocab  map[rune]bool
+}
+
+// NewEntropyModel creates an untrained model with the given Markov order
+// (context length). Order 2 matches the paper's usage well.
+func NewEntropyModel(order int) *EntropyModel {
+	if order < 1 {
+		order = 2
+	}
+	return &EntropyModel{
+		order:  order,
+		counts: map[string]map[rune]float64{},
+		totals: map[string]float64{},
+		vocab:  map[rune]bool{},
+	}
+}
+
+const boundary = '\x00'
+
+// Train fits the model on a corpus of usernames (e.g. all publicly visible
+// usernames the adversary has crawled).
+func (m *EntropyModel) Train(usernames []string) {
+	for _, u := range usernames {
+		runes := m.pad(u)
+		for i := m.order; i < len(runes); i++ {
+			ctx := string(runes[i-m.order : i])
+			next := runes[i]
+			if m.counts[ctx] == nil {
+				m.counts[ctx] = map[rune]float64{}
+			}
+			m.counts[ctx][next]++
+			m.totals[ctx]++
+			m.vocab[next] = true
+		}
+	}
+}
+
+func (m *EntropyModel) pad(u string) []rune {
+	u = strings.ToLower(u)
+	runes := make([]rune, 0, len(u)+m.order+1)
+	for i := 0; i < m.order; i++ {
+		runes = append(runes, boundary)
+	}
+	runes = append(runes, []rune(u)...)
+	return append(runes, boundary)
+}
+
+// Entropy returns the information content −log2 P(username) in bits under
+// the trained model, with add-one smoothing for unseen transitions. Longer
+// and rarer usernames score higher.
+func (m *EntropyModel) Entropy(username string) float64 {
+	runes := m.pad(username)
+	v := float64(len(m.vocab) + 1)
+	var bits float64
+	for i := m.order; i < len(runes); i++ {
+		ctx := string(runes[i-m.order : i])
+		count := m.counts[ctx][runes[i]]
+		total := m.totals[ctx]
+		p := (count + 1) / (total + v)
+		bits += -math.Log2(p)
+	}
+	return bits
+}

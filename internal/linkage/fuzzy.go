@@ -1,0 +1,185 @@
+package linkage
+
+import (
+	"sort"
+	"strings"
+
+	"dehealth/internal/corpus"
+)
+
+// Fuzzy username matching in the spirit of Perito et al.: people derive
+// service-specific usernames from a preferred one by small edits — case
+// changes, appended digits, separators, single typos. FuzzyNameLink extends
+// exact matching with these derivation patterns, weighting confidence by
+// the entropy of the *shared* core.
+
+// FuzzyConfig tunes the fuzzy matcher.
+type FuzzyConfig struct {
+	// MinEntropy is the minimum entropy (bits) the shared core must carry.
+	MinEntropy float64
+	// MaxEditDistance is the maximum Levenshtein distance treated as a
+	// typo-level variation (after affix stripping). 0 or 1 are sensible.
+	MaxEditDistance int
+	// RequireAttributeMatch demands location corroboration when available.
+	RequireAttributeMatch bool
+}
+
+// DefaultFuzzyConfig mirrors the proof-of-concept settings.
+func DefaultFuzzyConfig() FuzzyConfig {
+	return FuzzyConfig{MinEntropy: 30, MaxEditDistance: 1, RequireAttributeMatch: true}
+}
+
+// normalizeUsername lowercases and strips separator characters.
+func normalizeUsername(u string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(u) {
+		if r == '_' || r == '-' || r == '.' {
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// stripDigitSuffix removes a trailing run of digits ("jwolf6589" ->
+// "jwolf"), the most common derivation pattern.
+func stripDigitSuffix(u string) string {
+	end := len(u)
+	for end > 0 && u[end-1] >= '0' && u[end-1] <= '9' {
+		end--
+	}
+	return u[:end]
+}
+
+// usernameVariants returns the normalized cores a username may derive from,
+// most specific first.
+func usernameVariants(u string) []string {
+	n := normalizeUsername(u)
+	variants := []string{n}
+	if s := stripDigitSuffix(n); s != n && len(s) >= 4 {
+		variants = append(variants, s)
+	}
+	return variants
+}
+
+// editDistance is the Levenshtein distance, early-exited at limit+1.
+func editDistance(a, b string, limit int) int {
+	if abs(len(a)-len(b)) > limit {
+		return limit + 1
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > limit {
+			return limit + 1
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minInt3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// FuzzyNameLink links forum users to directory profiles allowing the Perito
+// derivation patterns (normalization, digit suffixes, one typo). Exact
+// matches win over fuzzy ones; at most one link per user.
+func FuzzyNameLink(d *corpus.Dataset, dir *Directory, model *EntropyModel, cfg FuzzyConfig) []Link {
+	// Index directory by normalized and digit-stripped cores.
+	type entry struct {
+		profile int
+		core    string
+	}
+	byCore := map[string][]entry{}
+	var allEntries []entry
+	for pi, p := range dir.Profiles {
+		for _, v := range usernameVariants(p.Username) {
+			e := entry{profile: pi, core: v}
+			byCore[v] = append(byCore[v], e)
+			allEntries = append(allEntries, e)
+		}
+	}
+
+	type cand struct {
+		user    int
+		entropy float64
+	}
+	cands := make([]cand, 0, len(d.Users))
+	for i, u := range d.Users {
+		e := model.Entropy(u.Name)
+		if e >= cfg.MinEntropy {
+			cands = append(cands, cand{user: i, entropy: e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].entropy > cands[j].entropy })
+
+	var links []Link
+	for _, c := range cands {
+		u := d.Users[c.user]
+		best, bestScore := -1, -1.0
+		consider := func(pi int, score float64) {
+			p := dir.Profiles[pi]
+			if cfg.RequireAttributeMatch && u.Location != "" && p.City != "" && u.Location != p.City {
+				return
+			}
+			if score > bestScore {
+				best, bestScore = pi, score
+			}
+		}
+		// Pass 1: core matches via the index (score by variant specificity).
+		variants := usernameVariants(u.Name)
+		for vi, v := range variants {
+			if model.Entropy(v) < cfg.MinEntropy {
+				continue
+			}
+			for _, e := range byCore[v] {
+				consider(e.profile, 2-float64(vi)) // exact core beats stripped core
+			}
+		}
+		// Pass 2: typo-level variations on the full normalized name.
+		if best < 0 && cfg.MaxEditDistance > 0 {
+			n := variants[0]
+			for _, e := range allEntries {
+				if e.core == n {
+					continue // already covered
+				}
+				if editDistance(n, e.core, cfg.MaxEditDistance) <= cfg.MaxEditDistance {
+					consider(e.profile, 0.5)
+				}
+			}
+		}
+		if best >= 0 {
+			links = append(links, Link{User: c.user, Profile: best, Via: "namelink-fuzzy", Confidence: c.entropy})
+		}
+	}
+	return links
+}

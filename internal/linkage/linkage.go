@@ -1,0 +1,148 @@
+package linkage
+
+import (
+	"sort"
+
+	"dehealth/internal/corpus"
+)
+
+// Link connects a forum user to an external profile.
+type Link struct {
+	// User is the forum user index.
+	User int
+	// Profile is the index into the directory's profiles.
+	Profile int
+	// Via names the technique ("namelink" or "avatarlink").
+	Via string
+	// Confidence is technique-specific: username entropy bits for NameLink,
+	// 64 − Hamming distance for AvatarLink.
+	Confidence float64
+}
+
+// NameLinkConfig tunes the username linkage.
+type NameLinkConfig struct {
+	// MinEntropy is the bits threshold below which a username is considered
+	// too common to identify a person (Perito-style filtering).
+	MinEntropy float64
+	// RequireAttributeMatch demands location corroboration when both sides
+	// expose a location (the manual validation step of §VI-B).
+	RequireAttributeMatch bool
+}
+
+// DefaultNameLinkConfig mirrors the proof-of-concept attack settings.
+func DefaultNameLinkConfig() NameLinkConfig {
+	return NameLinkConfig{MinEntropy: 30, RequireAttributeMatch: true}
+}
+
+// NameLink links forum users to directory profiles by username, processing
+// usernames in decreasing entropy order and dropping those below the
+// entropy threshold. At most one link per user is returned (the
+// highest-confidence match).
+func NameLink(d *corpus.Dataset, dir *Directory, model *EntropyModel, cfg NameLinkConfig) []Link {
+	type cand struct {
+		user    int
+		entropy float64
+	}
+	cands := make([]cand, 0, len(d.Users))
+	for i, u := range d.Users {
+		e := model.Entropy(u.Name)
+		if e >= cfg.MinEntropy {
+			cands = append(cands, cand{user: i, entropy: e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].entropy > cands[j].entropy })
+
+	var links []Link
+	for _, c := range cands {
+		u := d.Users[c.user]
+		matches := dir.SearchUsername(u.Name)
+		best := -1
+		for _, pi := range matches {
+			p := dir.Profiles[pi]
+			if cfg.RequireAttributeMatch && u.Location != "" && p.City != "" && u.Location != p.City {
+				continue
+			}
+			best = pi
+			break
+		}
+		if best >= 0 {
+			links = append(links, Link{User: c.user, Profile: best, Via: "namelink", Confidence: c.entropy})
+		}
+	}
+	return links
+}
+
+// AvatarLinkConfig tunes the avatar linkage.
+type AvatarLinkConfig struct {
+	// MaxHamming is the fingerprint distance treated as "same photo".
+	MaxHamming int
+}
+
+// DefaultAvatarLinkConfig mirrors the proof-of-concept attack settings.
+func DefaultAvatarLinkConfig() AvatarLinkConfig { return AvatarLinkConfig{MaxHamming: 4} }
+
+// UsableAvatars applies the four §VI-B filtering conditions and returns the
+// users whose avatars can drive a reverse-image linkage: not the default
+// avatar, not objects/scenery/logos, not fictitious persons, not kids.
+func UsableAvatars(d *corpus.Dataset) []int {
+	var out []int
+	for i, u := range d.Users {
+		if u.AvatarKind == corpus.AvatarRealPerson && u.AvatarHash != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AvatarLink links forum users with usable avatars to directory profiles by
+// fingerprint proximity. At most one link per user (the closest profile).
+func AvatarLink(d *corpus.Dataset, dir *Directory, cfg AvatarLinkConfig) []Link {
+	var links []Link
+	for _, ui := range UsableAvatars(d) {
+		u := d.Users[ui]
+		matches := dir.SearchAvatar(u.AvatarHash, cfg.MaxHamming)
+		if len(matches) == 0 {
+			continue
+		}
+		best, bestDist := -1, 65
+		for _, pi := range matches {
+			dist := hamming(dir.Profiles[pi].AvatarHash, u.AvatarHash)
+			if dist < bestDist {
+				best, bestDist = pi, dist
+			}
+		}
+		links = append(links, Link{User: ui, Profile: best, Via: "avatarlink", Confidence: float64(64 - bestDist)})
+	}
+	return links
+}
+
+func hamming(a, b uint64) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// CrossForumNameLink links users of forum A to users of forum B by shared
+// username (the WebMD -> HealthBoards information-aggregation attack).
+// Returned pairs are (user in a, user in b) with the username's entropy as
+// confidence; usernames below cfg.MinEntropy are skipped.
+func CrossForumNameLink(a, b *corpus.Dataset, model *EntropyModel, cfg NameLinkConfig) [][2]int {
+	byName := map[string][]int{}
+	for i, u := range b.Users {
+		byName[u.Name] = append(byName[u.Name], i)
+	}
+	var out [][2]int
+	for i, u := range a.Users {
+		if model.Entropy(u.Name) < cfg.MinEntropy {
+			continue
+		}
+		if matches := byName[u.Name]; len(matches) == 1 {
+			out = append(out, [2]int{i, matches[0]})
+		}
+	}
+	return out
+}

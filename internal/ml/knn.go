@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbor classifier over standardized Euclidean
+// distance. Ties in the vote are broken toward the nearest neighbor's class.
+type KNN struct {
+	// K is the neighborhood size; values < 1 default to 3 at Fit time.
+	K int
+
+	std     *Standardizer
+	x       [][]float64
+	y       []int
+	classes int
+}
+
+// NewKNN returns a KNN classifier with neighborhood size k.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit stores the standardized training set.
+func (c *KNN) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if c.K < 1 {
+		c.K = 3
+	}
+	c.classes = classes
+	c.std = FitStandardizer(X)
+	c.x = c.std.TransformAll(X)
+	c.y = append([]int(nil), y...)
+	return nil
+}
+
+// neighborVotes returns per-class votes among the k nearest neighbors,
+// weighted by 1/(1+dist) so nearer neighbors count more.
+func (c *KNN) neighborVotes(x []float64) []float64 {
+	if c.x == nil {
+		panic("ml: KNN.Predict before Fit")
+	}
+	q := c.std.Transform(x)
+	type nd struct {
+		d float64
+		y int
+	}
+	ds := make([]nd, len(c.x))
+	for i, row := range c.x {
+		ds[i] = nd{d: SqDist(q, row), y: c.y[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	k := c.K
+	if k > len(ds) {
+		k = len(ds)
+	}
+	votes := make([]float64, c.classes)
+	for i := 0; i < k; i++ {
+		votes[ds[i].y] += 1 / (1 + ds[i].d)
+	}
+	return votes
+}
+
+// Predict returns the majority class among the k nearest neighbors.
+func (c *KNN) Predict(x []float64) int { return ArgMax(c.neighborVotes(x)) }
+
+// Scores returns the distance-weighted votes per class.
+func (c *KNN) Scores(x []float64) []float64 { return c.neighborVotes(x) }
+
+// String describes the classifier.
+func (c *KNN) String() string { return fmt.Sprintf("KNN(k=%d)", c.K) }
+
+// NN is the nearest-neighbor (1-NN) special case.
+func NN() *KNN { return NewKNN(1) }

@@ -1,0 +1,110 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayes is a Gaussian naive Bayes classifier: each feature is modeled
+// per class as an independent Gaussian, with variance floored to keep
+// near-constant dimensions from dominating the log-likelihood. A cheap,
+// robust benchmark for the refined-DA phase.
+type NaiveBayes struct {
+	// VarFloor is the minimum per-dimension variance (default 1e-4 after
+	// standardization).
+	VarFloor float64
+
+	std      *Standardizer
+	mean     [][]float64 // [class][dim]
+	variance [][]float64 // [class][dim]
+	logPrior []float64
+	classes  int
+}
+
+// NewNaiveBayes returns a Gaussian naive Bayes classifier.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Fit estimates per-class Gaussians.
+func (c *NaiveBayes) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if c.VarFloor <= 0 {
+		c.VarFloor = 1e-4
+	}
+	c.classes = classes
+	c.std = FitStandardizer(X)
+	Xs := c.std.TransformAll(X)
+	d := len(Xs[0])
+
+	counts := make([]int, classes)
+	c.mean = make([][]float64, classes)
+	c.variance = make([][]float64, classes)
+	for cl := 0; cl < classes; cl++ {
+		c.mean[cl] = make([]float64, d)
+		c.variance[cl] = make([]float64, d)
+	}
+	for i, row := range Xs {
+		counts[y[i]]++
+		for j, x := range row {
+			c.mean[y[i]][j] += x
+		}
+	}
+	for cl := 0; cl < classes; cl++ {
+		if counts[cl] == 0 {
+			continue
+		}
+		for j := range c.mean[cl] {
+			c.mean[cl][j] /= float64(counts[cl])
+		}
+	}
+	for i, row := range Xs {
+		cl := y[i]
+		for j, x := range row {
+			dx := x - c.mean[cl][j]
+			c.variance[cl][j] += dx * dx
+		}
+	}
+	c.logPrior = make([]float64, classes)
+	for cl := 0; cl < classes; cl++ {
+		if counts[cl] == 0 {
+			c.logPrior[cl] = math.Inf(-1)
+			continue
+		}
+		for j := range c.variance[cl] {
+			c.variance[cl][j] = c.variance[cl][j]/float64(counts[cl]) + c.VarFloor
+		}
+		c.logPrior[cl] = math.Log(float64(counts[cl]) / float64(len(Xs)))
+	}
+	return nil
+}
+
+// Scores returns per-class log-posteriors (up to a constant).
+func (c *NaiveBayes) Scores(x []float64) []float64 {
+	if c.std == nil {
+		panic("ml: NaiveBayes.Scores before Fit")
+	}
+	q := c.std.Transform(x)
+	out := make([]float64, c.classes)
+	for cl := 0; cl < c.classes; cl++ {
+		if math.IsInf(c.logPrior[cl], -1) {
+			out[cl] = math.Inf(-1)
+			continue
+		}
+		ll := c.logPrior[cl]
+		for j, xq := range q {
+			v := c.variance[cl][j]
+			dx := xq - c.mean[cl][j]
+			ll += -0.5*math.Log(2*math.Pi*v) - dx*dx/(2*v)
+		}
+		out[cl] = ll
+	}
+	return out
+}
+
+// Predict returns the class with the largest log-posterior.
+func (c *NaiveBayes) Predict(x []float64) int { return ArgMax(c.Scores(x)) }
+
+// String describes the classifier.
+func (c *NaiveBayes) String() string { return fmt.Sprintf("NaiveBayes(floor=%g)", c.VarFloor) }

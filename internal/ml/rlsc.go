@@ -1,0 +1,90 @@
+package ml
+
+import "fmt"
+
+// RLSC is Regularized Least Squares Classification: one-vs-all ridge
+// regression onto ±1 targets, predicted by argmax. It trains in the dual
+// (kernel trick with the linear kernel): c = (K + λI)⁻¹ Y, which keeps the
+// linear solve at n×n for n training posts regardless of feature
+// dimensionality.
+type RLSC struct {
+	// Lambda is the ridge regularizer (default 1).
+	Lambda float64
+
+	std     *Standardizer
+	x       [][]float64
+	coef    [][]float64 // coef[class][trainRow]
+	classes int
+}
+
+// NewRLSC returns an RLSC classifier with regularization lambda.
+func NewRLSC(lambda float64) *RLSC { return &RLSC{Lambda: lambda} }
+
+// Fit solves the dual ridge systems, one per class.
+func (c *RLSC) Fit(X [][]float64, y []int) error {
+	classes, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1
+	}
+	c.classes = classes
+	c.std = FitStandardizer(X)
+	c.x = c.std.TransformAll(X)
+
+	n := len(c.x)
+	gram := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := Dot(c.x[i], c.x[j])
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+		gram.Add(i, i, c.Lambda)
+	}
+	l, err := Cholesky(gram)
+	if err != nil {
+		return fmt.Errorf("ml: RLSC gram factorization: %w", err)
+	}
+	c.coef = make([][]float64, classes)
+	for cl := 0; cl < classes; cl++ {
+		target := make([]float64, n)
+		for i, yi := range y {
+			if yi == cl {
+				target[i] = 1
+			} else {
+				target[i] = -1
+			}
+		}
+		coef, err := CholeskySolve(l, target)
+		if err != nil {
+			return err
+		}
+		c.coef[cl] = coef
+	}
+	return nil
+}
+
+// Scores returns per-class regression outputs f_c(x) = Σ_i coef_ci·⟨x_i, x⟩.
+func (c *RLSC) Scores(x []float64) []float64 {
+	if c.std == nil {
+		panic("ml: RLSC.Scores before Fit")
+	}
+	q := c.std.Transform(x)
+	k := make([]float64, len(c.x))
+	for i, xi := range c.x {
+		k[i] = Dot(xi, q)
+	}
+	out := make([]float64, c.classes)
+	for cl, coef := range c.coef {
+		out[cl] = Dot(coef, k)
+	}
+	return out
+}
+
+// Predict returns the argmax class.
+func (c *RLSC) Predict(x []float64) int { return ArgMax(c.Scores(x)) }
+
+// String describes the classifier.
+func (c *RLSC) String() string { return fmt.Sprintf("RLSC(lambda=%g)", c.Lambda) }

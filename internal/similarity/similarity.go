@@ -1,0 +1,290 @@
+// Package similarity computes the structural similarity s_uv of §III-B
+// between anonymized and auxiliary users:
+//
+//	s_uv = c1·s^d_uv + c2·s^s_uv + c3·s^a_uv
+//
+// where s^d is the degree similarity (degree ratio + weighted degree ratio +
+// NCS-vector cosine), s^s is the landmark distance similarity (cosine of the
+// distance vectors to the top-degree landmark users), and s^a is the
+// attribute similarity (Jaccard + weighted Jaccard of the UDA attribute
+// sets).
+package similarity
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"dehealth/internal/graph"
+)
+
+// Config carries the similarity weights and landmark count. The paper's
+// default setting is c1 = c2 = 0.05, c3 = 0.9 and ħ = 50 landmarks for the
+// full datasets (ħ = 5 for the small refined-DA datasets).
+type Config struct {
+	C1, C2, C3 float64
+	// Landmarks is ħ, the number of top-degree landmark users per side.
+	Landmarks int
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config {
+	return Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 50}
+}
+
+// Scorer computes similarities between users of an anonymized UDA graph G1
+// and an auxiliary UDA graph G2. Construction precomputes NCS vectors and
+// landmark closeness vectors for both sides.
+type Scorer struct {
+	cfg    Config
+	g1, g2 *graph.UDA
+
+	ncs1, ncs2     [][]float64
+	close1, close2 [][]float64 // hop-closeness vectors, ħ dims
+	wcl1, wcl2     [][]float64 // weighted-closeness vectors, ħ dims
+}
+
+// NewScorer builds a Scorer over the two UDA graphs.
+func NewScorer(g1, g2 *graph.UDA, cfg Config) *Scorer {
+	s := &Scorer{cfg: cfg, g1: g1, g2: g2}
+	s.ncs1 = cacheNCS(g1)
+	s.ncs2 = cacheNCS(g2)
+	s.close1, s.wcl1 = landmarkCloseness(g1, cfg.Landmarks)
+	s.close2, s.wcl2 = landmarkCloseness(g2, cfg.Landmarks)
+	return s
+}
+
+func cacheNCS(g *graph.UDA) [][]float64 {
+	out := make([][]float64, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		out[u] = g.NCS(u)
+	}
+	return out
+}
+
+// landmarkCloseness selects the ħ top-degree users as landmarks (sorted by
+// decreasing degree, as §III-B prescribes) and computes, for every node, the
+// closeness 1/(1+h) to each landmark — 0 when unreachable — for both hop
+// distances and weighted distances.
+func landmarkCloseness(g *graph.UDA, hbar int) (hop, weighted [][]float64) {
+	n := g.NumNodes()
+	landmarks := g.TopDegreeNodes(hbar)
+	hop = make([][]float64, n)
+	weighted = make([][]float64, n)
+	for u := 0; u < n; u++ {
+		hop[u] = make([]float64, len(landmarks))
+		weighted[u] = make([]float64, len(landmarks))
+	}
+	for li, l := range landmarks {
+		hd := g.BFSDistances(l)
+		wd := g.WeightedDistances(l)
+		for u := 0; u < n; u++ {
+			if hd[u] >= 0 {
+				hop[u][li] = 1 / (1 + float64(hd[u]))
+			}
+			if !math.IsInf(wd[u], 1) {
+				weighted[u][li] = 1 / (1 + wd[u])
+			}
+		}
+	}
+	return hop, weighted
+}
+
+// Cosine returns the cosine similarity of a and b; the shorter vector is
+// zero-padded (§III-B). Returns 0 when either vector is all-zero.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+	}
+	for _, x := range a {
+		na += x * x
+	}
+	for _, x := range b {
+		nb += x * x
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func ratioSim(a, b float64) float64 {
+	if a == b {
+		if a == 0 {
+			return 1 // both isolated: identical local structure
+		}
+		return 1
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == 0 {
+		return 1
+	}
+	return lo / hi
+}
+
+// DegreeSim computes s^d_uv = min(d)/max(d) + min(wd)/max(wd) + cos(NCS).
+func (s *Scorer) DegreeSim(u, v int) float64 {
+	d := ratioSim(float64(s.g1.Degree(u)), float64(s.g2.Degree(v)))
+	wd := ratioSim(s.g1.WeightedDegree(u), s.g2.WeightedDegree(v))
+	return d + wd + Cosine(s.ncs1[u], s.ncs2[v])
+}
+
+// DistanceSim computes s^s_uv = cos(H_u(S1), H_v(S2)) + cos(WH_u(S1),
+// WH_v(S2)) over landmark closeness vectors.
+func (s *Scorer) DistanceSim(u, v int) float64 {
+	return Cosine(s.close1[u], s.close2[v]) + Cosine(s.wcl1[u], s.wcl2[v])
+}
+
+// AttrSim computes s^a_uv = Jaccard(A(u), A(v)) + WeightedJaccard(WA(u),
+// WA(v)).
+func (s *Scorer) AttrSim(u, v int) float64 {
+	return jaccard(s, u, v) + weightedJaccard(s, u, v)
+}
+
+func jaccard(s *Scorer, u, v int) float64 {
+	return jaccardSets(s.g1.Attrs[u].Idx, s.g2.Attrs[v].Idx)
+}
+
+func jaccardSets(a, b []int) float64 {
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func weightedJaccard(s *Scorer, u, v int) float64 {
+	au, av := s.g1.Attrs[u], s.g2.Attrs[v]
+	var inter, union int
+	i, j := 0, 0
+	for i < len(au.Idx) && j < len(av.Idx) {
+		switch {
+		case au.Idx[i] == av.Idx[j]:
+			wa, wb := au.Weight[i], av.Weight[j]
+			if wa < wb {
+				inter += wa
+				union += wb
+			} else {
+				inter += wb
+				union += wa
+			}
+			i++
+			j++
+		case au.Idx[i] < av.Idx[j]:
+			union += au.Weight[i]
+			i++
+		default:
+			union += av.Weight[j]
+			j++
+		}
+	}
+	for ; i < len(au.Idx); i++ {
+		union += au.Weight[i]
+	}
+	for ; j < len(av.Idx); j++ {
+		union += av.Weight[j]
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Score computes the combined structural similarity s_uv.
+func (s *Scorer) Score(u, v int) float64 {
+	return s.cfg.C1*s.DegreeSim(u, v) + s.cfg.C2*s.DistanceSim(u, v) + s.cfg.C3*s.AttrSim(u, v)
+}
+
+// ScoreMatrix computes the full |V1| × |V2| similarity matrix in parallel.
+func (s *Scorer) ScoreMatrix() [][]float64 {
+	n1, n2 := s.g1.NumNodes(), s.g2.NumNodes()
+	out := make([][]float64, n1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n1 {
+		workers = n1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range rows {
+				row := make([]float64, n2)
+				for v := 0; v < n2; v++ {
+					row[v] = s.Score(u, v)
+				}
+				out[u] = row
+			}
+		}()
+	}
+	for u := 0; u < n1; u++ {
+		rows <- u
+	}
+	close(rows)
+	wg.Wait()
+	return out
+}
+
+// StructuralVector returns a fixed-length numeric summary of a user's
+// structural features, used to augment the stylometric vectors fed to the
+// refined-DA classifier: [degree, weighted degree, max NCS entry, mean NCS
+// entry, |A(u)|, total attribute weight] followed by the ħ hop-closeness
+// entries. side selects the graph: 1 = anonymized, 2 = auxiliary.
+func (s *Scorer) StructuralVector(side, u int) []float64 {
+	var (
+		g   *graph.UDA
+		ncs []float64
+		cl  []float64
+	)
+	if side == 2 {
+		g, ncs, cl = s.g2, s.ncs2[u], s.close2[u]
+	} else {
+		g, ncs, cl = s.g1, s.ncs1[u], s.close1[u]
+	}
+	var maxN, sumN float64
+	for _, x := range ncs {
+		if x > maxN {
+			maxN = x
+		}
+		sumN += x
+	}
+	meanN := 0.0
+	if len(ncs) > 0 {
+		meanN = sumN / float64(len(ncs))
+	}
+	out := []float64{
+		float64(g.Degree(u)),
+		g.WeightedDegree(u),
+		maxN,
+		meanN,
+		float64(g.Attrs[u].Len()),
+		float64(g.Attrs[u].TotalWeight()),
+	}
+	out = append(out, cl...)
+	return out
+}

@@ -1,0 +1,182 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dehealth/internal/corpus"
+	"dehealth/internal/graph"
+	"dehealth/internal/stylometry"
+)
+
+func TestCosine(t *testing.T) {
+	tests := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 1}, []float64{1, 1}, 1},
+		{[]float64{0, 0}, []float64{1, 1}, 0},
+		{nil, nil, 0},
+		// Zero padding: (1,2) vs (1,2,0).
+		{[]float64{1, 2}, []float64{1, 2, 0}, 1},
+	}
+	for _, tc := range tests {
+		if got := Cosine(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Cosine(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		c := Cosine(a, b)
+		if c < -1-1e-9 || c > 1+1e-9 {
+			return false
+		}
+		return math.Abs(Cosine(a, b)-Cosine(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// twoForumWorld builds matched anonymized/auxiliary datasets where user i in
+// one corresponds to user i in the other, with identical structure and near
+// identical texts.
+func twoForumWorld() (*graph.UDA, *graph.UDA) {
+	mk := func(suffix string) *corpus.Dataset {
+		d := &corpus.Dataset{Name: "w"}
+		for i := 0; i < 4; i++ {
+			d.Users = append(d.Users, corpus.User{ID: i, Name: "u", TrueIdentity: i})
+		}
+		d.Threads = []corpus.Thread{
+			{ID: 0, Board: "a", Starter: 0},
+			{ID: 1, Board: "b", Starter: 2},
+		}
+		d.Posts = []corpus.Post{
+			{ID: 0, User: 0, Thread: 0, Text: "i definately have a terrible headache " + suffix},
+			{ID: 1, User: 1, Thread: 0, Text: "my doctor prescribed 50mg of imitrex " + suffix},
+			{ID: 2, User: 2, Thread: 1, Text: "has anyone tried melatonin for sleep " + suffix},
+			{ID: 3, User: 3, Thread: 1, Text: "whenever i sleep the pain gets worse " + suffix},
+			{ID: 4, User: 0, Thread: 1, Text: "i definately agree about the headache part " + suffix},
+		}
+		return d
+	}
+	ex := stylometry.New()
+	return graph.BuildUDA(mk("today"), ex), graph.BuildUDA(mk("yesterday"), ex)
+}
+
+func TestScoreSelfHighest(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2})
+	for u := 0; u < 4; u++ {
+		self := s.Score(u, u)
+		for v := 0; v < 4; v++ {
+			if v != u && s.Score(u, v) > self {
+				t.Errorf("Score(%d,%d)=%v exceeds self score %v", u, v, s.Score(u, v), self)
+			}
+		}
+	}
+}
+
+func TestScoreComponentsBounded(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, DefaultConfig())
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if d := s.DegreeSim(u, v); d < 0 || d > 3+1e-9 {
+				t.Errorf("DegreeSim(%d,%d) = %v out of [0,3]", u, v, d)
+			}
+			if ds := s.DistanceSim(u, v); ds < 0 || ds > 2+1e-9 {
+				t.Errorf("DistanceSim(%d,%d) = %v out of [0,2]", u, v, ds)
+			}
+			if a := s.AttrSim(u, v); a < 0 || a > 2+1e-9 {
+				t.Errorf("AttrSim(%d,%d) = %v out of [0,2]", u, v, a)
+			}
+		}
+	}
+}
+
+func TestScoreMatrixMatchesScore(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, DefaultConfig())
+	m := s.ScoreMatrix()
+	for u := range m {
+		for v := range m[u] {
+			if math.Abs(m[u][v]-s.Score(u, v)) > 1e-12 {
+				t.Fatalf("matrix[%d][%d] mismatch", u, v)
+			}
+		}
+	}
+}
+
+func TestStructuralVector(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	cfg := Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2}
+	s := NewScorer(g1, g2, cfg)
+	v1 := s.StructuralVector(1, 0)
+	v2 := s.StructuralVector(2, 0)
+	wantLen := 6 + cfg.Landmarks
+	if len(v1) != wantLen || len(v2) != wantLen {
+		t.Fatalf("structural vector lengths %d/%d, want %d", len(v1), len(v2), wantLen)
+	}
+	// Same user in structurally identical graphs: the graph-derived
+	// dimensions (degree block 0-3 and landmark closeness 6+) must match;
+	// the attribute dimensions (4, 5) depend on the differing texts.
+	for i := range v1 {
+		if i == 4 || i == 5 {
+			continue
+		}
+		if math.Abs(v1[i]-v2[i]) > 1e-9 {
+			t.Errorf("dim %d differs: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	if v1[0] != float64(g1.Degree(0)) {
+		t.Error("first dim must be the degree")
+	}
+}
+
+func TestLandmarkClosenessDisconnected(t *testing.T) {
+	// Isolated user: all closeness 0, similarity still well-defined.
+	d := &corpus.Dataset{
+		Name: "iso",
+		Users: []corpus.User{
+			{ID: 0, Name: "a", TrueIdentity: -1},
+			{ID: 1, Name: "b", TrueIdentity: -1},
+		},
+		Threads: []corpus.Thread{
+			{ID: 0, Board: "x", Starter: 0},
+			{ID: 1, Board: "x", Starter: 1},
+		},
+		Posts: []corpus.Post{
+			{ID: 0, User: 0, Thread: 0, Text: "alone in this thread"},
+			{ID: 1, User: 1, Thread: 1, Text: "also alone here"},
+		},
+	}
+	ex := stylometry.New()
+	uda := graph.BuildUDA(d, ex)
+	s := NewScorer(uda, uda, DefaultConfig())
+	for u := 0; u < 2; u++ {
+		for v := 0; v < 2; v++ {
+			got := s.Score(u, v)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("Score(%d,%d) = %v on disconnected graph", u, v, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package stylometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUserAttributes(t *testing.T) {
+	posts := [][]float64{
+		{1, 0, 2, 0},
+		{0, 0, 3, 0},
+		{4, 0, 0, 0},
+	}
+	a := UserAttributes(posts)
+	if !a.Has(0) || a.Has(1) || !a.Has(2) || a.Has(3) {
+		t.Errorf("unexpected attribute set: %+v", a)
+	}
+	// Feature 0 fires in 2 posts, feature 2 in 2 posts.
+	if a.Len() != 2 {
+		t.Fatalf("len = %d, want 2", a.Len())
+	}
+	for k, idx := range a.Idx {
+		if idx == 0 && a.Weight[k] != 2 {
+			t.Errorf("weight of attr 0 = %d, want 2", a.Weight[k])
+		}
+		if idx == 2 && a.Weight[k] != 2 {
+			t.Errorf("weight of attr 2 = %d, want 2", a.Weight[k])
+		}
+	}
+	if a.TotalWeight() != 4 {
+		t.Errorf("total weight = %d, want 4", a.TotalWeight())
+	}
+}
+
+func TestUserAttributesEmpty(t *testing.T) {
+	a := UserAttributes(nil)
+	if a.Len() != 0 || a.TotalWeight() != 0 {
+		t.Error("empty post set must yield empty attributes")
+	}
+}
+
+func TestJaccardKnown(t *testing.T) {
+	a := AttrSet{Idx: []int{1, 2, 3}, Weight: []int{1, 1, 1}}
+	b := AttrSet{Idx: []int{2, 3, 4}, Weight: []int{1, 1, 1}}
+	if got := Jaccard(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.5", got)
+	}
+}
+
+func TestWeightedJaccardKnown(t *testing.T) {
+	a := AttrSet{Idx: []int{1, 2}, Weight: []int{3, 1}}
+	b := AttrSet{Idx: []int{2, 3}, Weight: []int{2, 4}}
+	// inter = min over shared {2}: 1; union = 3 + 2 + 4 = 9.
+	if got := WeightedJaccard(a, b); math.Abs(got-1.0/9) > 1e-12 {
+		t.Errorf("WeightedJaccard = %v, want 1/9", got)
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	if Jaccard(AttrSet{}, AttrSet{}) != 0 {
+		t.Error("Jaccard of empty sets must be 0")
+	}
+	if WeightedJaccard(AttrSet{}, AttrSet{}) != 0 {
+		t.Error("WeightedJaccard of empty sets must be 0")
+	}
+}
+
+// randomAttrSet builds a random valid attribute set.
+func randomAttrSet(rng *rand.Rand) AttrSet {
+	n := rng.Intn(12)
+	var s AttrSet
+	idx := 0
+	for i := 0; i < n; i++ {
+		idx += 1 + rng.Intn(4)
+		s.Idx = append(s.Idx, idx)
+		s.Weight = append(s.Weight, 1+rng.Intn(5))
+	}
+	return s
+}
+
+func TestJaccardProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomAttrSet(rng), randomAttrSet(rng)
+		ja, jb := Jaccard(a, b), Jaccard(b, a)
+		wa, wb := WeightedJaccard(a, b), WeightedJaccard(b, a)
+		// Symmetry.
+		if ja != jb || wa != wb {
+			return false
+		}
+		// Bounds.
+		if ja < 0 || ja > 1 || wa < 0 || wa > 1 {
+			return false
+		}
+		// Identity: J(a, a) == 1 for non-empty a.
+		if a.Len() > 0 && (Jaccard(a, a) != 1 || WeightedJaccard(a, a) != 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	got := MeanVector([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("MeanVector = %v, want [2 3]", got)
+	}
+	if MeanVector(nil) != nil {
+		t.Error("MeanVector(nil) must be nil")
+	}
+}
+
+func TestAttrSetHasBinarySearch(t *testing.T) {
+	s := AttrSet{Idx: []int{0, 5, 9, 100}, Weight: []int{1, 1, 1, 1}}
+	for _, i := range []int{0, 5, 9, 100} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false", i)
+		}
+	}
+	for _, i := range []int{-1, 1, 6, 99, 101} {
+		if s.Has(i) {
+			t.Errorf("Has(%d) = true", i)
+		}
+	}
+}

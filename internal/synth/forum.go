@@ -1,0 +1,368 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"dehealth/internal/corpus"
+)
+
+// ForumConfig shapes a generated forum. The WebMDLike and HBLike presets are
+// calibrated so that the generated corpora reproduce the paper's published
+// marginals: the posts-per-user CDF of Fig.1 (87.3% of WebMD users and
+// 75.4% of HB users have fewer than 5 posts; means 5.66 and 12.06
+// posts/user), the post-length distribution of Fig.2 (means 127.59 and
+// 147.24 words), and a sparse, disconnected correlation graph (Fig.7,
+// Fig.8).
+type ForumConfig struct {
+	// Name labels the dataset.
+	Name string
+	// NumUsers is the number of registered accounts to create.
+	NumUsers int
+
+	// PostsAlpha is the Zipf exponent of the posts-per-user distribution.
+	PostsAlpha float64
+	// MaxPosts truncates the posts-per-user distribution.
+	MaxPosts int
+	// PowerUserRate is the probability a user is a heavy poster drawn
+	// uniformly from [MaxPosts/10, MaxPosts] — the tail Fig.1 shows.
+	PowerUserRate float64
+	// FixedPosts, when positive, gives every user exactly this many posts
+	// instead of sampling the Zipf law — the §V refined-DA experiments use
+	// "50 users each with 20 posts"-style populations.
+	FixedPosts int
+
+	// MeanPostLen is the target mean post length in words; PostLenSigma is
+	// the lognormal shape.
+	MeanPostLen  float64
+	PostLenSigma float64
+
+	// StartThreadProb is the probability a post opens a new thread rather
+	// than replying in an existing thread on one of the author's boards.
+	StartThreadProb float64
+	// QuoteProb is the probability a reply opens by quoting the thread's
+	// previous post. Quotes carry the quoted author's writing style, which
+	// is what makes post-level attribution on scraped forum data hard.
+	QuoteProb float64
+	// ShortReplyProb is the probability a reply is a brief generic
+	// acknowledgement rather than a full post.
+	ShortReplyProb float64
+	// MaxThreadSize caps distinct participants per thread.
+	MaxThreadSize int
+
+	// HasLocations controls whether user locations are public (true for the
+	// HB-like service, as on HealthBoards).
+	HasLocations bool
+	// HasAges controls whether user ages are public (true for the
+	// BoneSmart-like service, per §VI-A).
+	HasAges bool
+
+	// Seed drives all sampling for this forum.
+	Seed int64
+}
+
+// WebMDLike returns the WebMD-calibrated configuration.
+func WebMDLike(nUsers int, seed int64) ForumConfig {
+	return ForumConfig{
+		Name:            "webmd",
+		NumUsers:        nUsers,
+		PostsAlpha:      2.05,
+		MaxPosts:        500,
+		PowerUserRate:   0.004,
+		MeanPostLen:     127.59,
+		PostLenSigma:    0.55,
+		StartThreadProb: 0.45,
+		QuoteProb:       0.25,
+		ShortReplyProb:  0.4,
+		MaxThreadSize:   8,
+		HasLocations:    false,
+		Seed:            seed,
+	}
+}
+
+// HBLike returns the HealthBoards-calibrated configuration.
+func HBLike(nUsers int, seed int64) ForumConfig {
+	return ForumConfig{
+		Name:            "healthboards",
+		NumUsers:        nUsers,
+		PostsAlpha:      1.72,
+		MaxPosts:        800,
+		PowerUserRate:   0.003,
+		MeanPostLen:     147.24,
+		PostLenSigma:    0.55,
+		StartThreadProb: 0.4,
+		QuoteProb:       0.25,
+		ShortReplyProb:  0.4,
+		MaxThreadSize:   10,
+		HasLocations:    true,
+		Seed:            seed,
+	}
+}
+
+// BoneSmartLike returns a configuration for the third forum §VI-A uses for
+// information aggregation (BoneSmart, a joint-replacement community that
+// publishes member ages).
+func BoneSmartLike(nUsers int, seed int64) ForumConfig {
+	return ForumConfig{
+		Name:            "bonesmart",
+		NumUsers:        nUsers,
+		PostsAlpha:      1.9,
+		MaxPosts:        400,
+		PowerUserRate:   0.004,
+		MeanPostLen:     140,
+		PostLenSigma:    0.55,
+		StartThreadProb: 0.45,
+		QuoteProb:       0.25,
+		ShortReplyProb:  0.4,
+		MaxThreadSize:   8,
+		HasAges:         true,
+		Seed:            seed,
+	}
+}
+
+// zipfSampler draws posts-per-user counts from a truncated Zipf law with a
+// uniform heavy tail for power users.
+type zipfSampler struct {
+	cdf           []float64
+	maxPosts      int
+	powerUserRate float64
+}
+
+func newZipfSampler(alpha float64, maxPosts int, powerUserRate float64) *zipfSampler {
+	cdf := make([]float64, maxPosts)
+	total := 0.0
+	for k := 1; k <= maxPosts; k++ {
+		total += math.Pow(float64(k), -alpha)
+		cdf[k-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &zipfSampler{cdf: cdf, maxPosts: maxPosts, powerUserRate: powerUserRate}
+}
+
+func (z *zipfSampler) sample(rng *rand.Rand) int {
+	if rng.Float64() < z.powerUserRate {
+		lo := z.maxPosts / 10
+		return lo + rng.Intn(z.maxPosts-lo+1)
+	}
+	r := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Generate creates a forum dataset for the persons members (indices into
+// u.Persons). Account i of the result belongs to u.Persons[members[i]];
+// ground truth lands in User.TrueIdentity.
+func Generate(cfg ForumConfig, u *Universe, members []int) *corpus.Dataset {
+	if cfg.NumUsers != len(members) {
+		panic(fmt.Sprintf("synth: config wants %d users but %d members given", cfg.NumUsers, len(members)))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &corpus.Dataset{Name: cfg.Name}
+
+	// Accounts.
+	usedNames := map[string]bool{}
+	for i, pi := range members {
+		p := u.Persons[pi]
+		name := p.Username
+		if !p.ReusesUsername {
+			name = FreshUsername(p, rng)
+		}
+		for usedNames[name] {
+			name = fmt.Sprintf("%s_%d", name, rng.Intn(100))
+		}
+		usedNames[name] = true
+
+		kind, hash := sampleAvatar(rng, p)
+		loc := ""
+		if cfg.HasLocations && rng.Float64() < 0.7 {
+			loc = p.City
+		}
+		age := 0
+		if cfg.HasAges && rng.Float64() < 0.6 {
+			age = 2015 - p.BirthYear // the paper's crawl year
+		}
+		d.Users = append(d.Users, corpus.User{
+			ID:           i,
+			Name:         name,
+			Location:     loc,
+			Age:          age,
+			AvatarHash:   hash,
+			AvatarKind:   kind,
+			TrueIdentity: pi,
+		})
+	}
+
+	// Posts-per-user counts.
+	postCount := make([]int, cfg.NumUsers)
+	if cfg.FixedPosts > 0 {
+		for i := range postCount {
+			postCount[i] = cfg.FixedPosts
+		}
+	} else {
+		zipf := newZipfSampler(cfg.PostsAlpha, cfg.MaxPosts, cfg.PowerUserRate)
+		for i := range postCount {
+			postCount[i] = zipf.sample(rng)
+		}
+	}
+
+	// Threads per board, with bounded participant sets.
+	type threadState struct {
+		id           int
+		board        int
+		participants map[int]bool
+		lastText     string
+	}
+	var open [][]*threadState = make([][]*threadState, len(boards))
+
+	newThread := func(board, starter int) *threadState {
+		t := &threadState{id: len(d.Threads), board: board, participants: map[int]bool{starter: true}}
+		d.Threads = append(d.Threads, corpus.Thread{ID: t.id, Board: boards[board].Name, Starter: starter})
+		open[board] = append(open[board], t)
+		if len(open[board]) > 64 {
+			open[board] = open[board][len(open[board])-64:] // only recent threads accept replies
+		}
+		return t
+	}
+
+	// Interleave users' posts so thread co-participation mixes users.
+	type pending struct{ user, remaining int }
+	queue := make([]pending, 0, cfg.NumUsers)
+	for i, n := range postCount {
+		queue = append(queue, pending{user: i, remaining: n})
+	}
+	gens := make([]*textGen, cfg.NumUsers)
+	for i, pi := range members {
+		gens[i] = &textGen{p: u.Persons[pi].Profile, rng: rand.New(rand.NewSource(cfg.Seed ^ int64(pi*2654435761+17)))}
+	}
+
+	for len(queue) > 0 {
+		qi := rng.Intn(len(queue))
+		item := &queue[qi]
+		user := item.user
+		p := u.Persons[members[user]]
+
+		board := p.Profile.Boards[rng.Intn(len(p.Profile.Boards))]
+		var t *threadState
+		isReply := false
+		if rng.Float64() < cfg.StartThreadProb || len(open[board]) == 0 {
+			t = newThread(board, user)
+		} else {
+			isReply = true
+			t = open[board][rng.Intn(len(open[board]))]
+			if !t.participants[user] && len(t.participants) >= cfg.MaxThreadSize {
+				t = newThread(board, user)
+			} else {
+				t.participants[user] = true
+			}
+		}
+
+		var text string
+		if isReply && rng.Float64() < cfg.ShortReplyProb {
+			text = gens[user].ShortReply(boards[t.board])
+		} else {
+			length := samplePostLen(rng, cfg.MeanPostLen, cfg.PostLenSigma)
+			text = gens[user].Post(boards[t.board], length)
+		}
+		if t.lastText != "" && rng.Float64() < cfg.QuoteProb {
+			text = "quote: " + firstWords(t.lastText, 10+rng.Intn(50)) + "\n\n" + text
+		}
+		t.lastText = text
+		d.Posts = append(d.Posts, corpus.Post{
+			ID: len(d.Posts), User: user, Thread: t.id, Text: text,
+		})
+
+		item.remaining--
+		if item.remaining == 0 {
+			queue[qi] = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		}
+	}
+	return d
+}
+
+// firstWords returns the first n whitespace-separated tokens of s.
+func firstWords(s string, n int) string {
+	fields := strings.Fields(s)
+	if len(fields) > n {
+		fields = fields[:n]
+	}
+	return strings.Join(fields, " ")
+}
+
+// samplePostLen draws a post length in words: lognormal around the target
+// mean, truncated to [15, 800] (Fig.2's support). Full posts overshoot the
+// sampled budget (the generator finishes its last sentence and appends
+// sign-offs) while short generic replies pull the corpus mean down; the
+// 1.10 factor compensates so the corpus-level mean hits the Fig.2 target.
+func samplePostLen(rng *rand.Rand, mean, sigma float64) int {
+	mean *= 1.10
+	mu := math.Log(mean) - sigma*sigma/2
+	l := int(math.Exp(mu + sigma*rng.NormFloat64()))
+	if l < 15 {
+		l = 15
+	}
+	if l > 800 {
+		l = 800
+	}
+	return l
+}
+
+// sampleAvatar assigns the §VI avatar taxonomy: most users keep the default
+// avatar, some upload photos of objects/scenery, a few upload fictitious
+// persons or kids, and a small fraction upload a real photo of themselves —
+// the 2805-of-89393 population AvatarLink targets.
+func sampleAvatar(rng *rand.Rand, p *Person) (corpus.AvatarKind, uint64) {
+	r := rng.Float64()
+	switch {
+	case r < 0.62:
+		return corpus.AvatarDefault, 0
+	case r < 0.88:
+		return corpus.AvatarNonHuman, rng.Uint64()
+	case r < 0.92:
+		return corpus.AvatarFictitious, rng.Uint64()
+	case r < 0.965:
+		return corpus.AvatarKids, rng.Uint64()
+	default:
+		// Real photo; re-uploads hash near the person's canonical photo.
+		return corpus.AvatarRealPerson, PerturbedAvatar(p, 2, rng)
+	}
+}
+
+// Members draws k distinct person indices from the universe.
+func Members(u *Universe, k int, rng *rand.Rand) []int {
+	if k > len(u.Persons) {
+		panic(fmt.Sprintf("synth: want %d members but universe has %d persons", k, len(u.Persons)))
+	}
+	perm := rng.Perm(len(u.Persons))
+	return perm[:k]
+}
+
+// OverlappingMembers returns member lists for two forums where the first
+// overlap indices are shared and the remainder are disjoint, for generating
+// service pairs with a known common population.
+func OverlappingMembers(u *Universe, nA, nB, overlap int, rng *rand.Rand) (a, b []int) {
+	if overlap > nA || overlap > nB {
+		panic("synth: overlap larger than a forum")
+	}
+	need := nA + nB - overlap
+	if need > len(u.Persons) {
+		panic(fmt.Sprintf("synth: need %d persons, universe has %d", need, len(u.Persons)))
+	}
+	perm := rng.Perm(len(u.Persons))
+	shared := perm[:overlap]
+	a = append(append([]int{}, shared...), perm[overlap:nA]...)
+	b = append(append([]int{}, shared...), perm[nA:nA+nB-overlap]...)
+	return a, b
+}

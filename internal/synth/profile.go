@@ -1,0 +1,258 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dehealth/internal/nlp/lexicon"
+)
+
+// StyleProfile is the per-person writing fingerprint. The de-anonymization
+// signal in the generated corpora comes entirely from these knobs: two posts
+// share a profile iff they share an author, which is exactly the assumption
+// stylometric DA exploits (§II-B).
+type StyleProfile struct {
+	// Punctuation & case habits.
+	ExclaimRate    float64 // probability a sentence ends with '!'
+	EllipsisRate   float64 // probability a sentence ends with '...'
+	QuestionRate   float64 // probability a seeking sentence ends with '?'
+	CommaRate      float64 // probability a connector is preceded by ','
+	LowercaseIRate float64 // probability "I" is written "i"
+	CapsRate       float64 // probability an intensity word is ALL CAPS
+	NoCapsRate     float64 // probability sentence starts lowercase
+
+	// Idiosyncrasies.
+	Misspellings  map[string]string // correct -> habitual misspelling
+	MisspellRate  float64           // probability a habitual word is misspelled
+	EmoticonRate  float64           // probability a post ends with an emoticon
+	DigitStyle    bool              // "2 weeks" vs "two weeks"
+	GreetRate     float64           // probability a post opens with a greeting
+	CloseRate     float64           // probability a post ends with a closer
+	FillerRate    float64           // probability a filler adverb is inserted
+	FillerChoice  []float64         // preference weights over fillers
+	ConnectorPref []int             // preferred synonym index per connector group
+
+	// Signature habits: fixed per person, the high-signal attributes.
+	GreetChoice    int       // habitual greeting (index into greetings)
+	CloseChoice    int       // habitual closer (index into closers)
+	EmoticonChoice int       // habitual emoticon (index into emoticons)
+	DoubleExclaim  bool      // writes "!!" instead of "!"
+	AmpersandRate  float64   // writes "&" for "and"
+	StarEmphasis   bool      // wraps emphasized words in *stars*
+	TildeApprox    bool      // prefixes numbers with "~"
+	Doses          []string  // personal dosage strings, e.g. "50mg"
+	DoseRate       float64   // probability a medication sentence cites a dose
+	Catchphrases   []int     // habitual sign-off phrases (indices into catchphrases)
+	CatchRate      float64   // probability a post carries a catchphrase
+	TemplateWeight []float64 // preference over sentence templates
+
+	// Geometry.
+	SentenceLen float64 // mean words per sentence
+	ParaRate    float64 // probability of a paragraph break between sentences
+
+	// Topics: the person's own conditions (board indices) — posts stay
+	// topically consistent across forums, as real patients' posts do.
+	Boards []int
+}
+
+// sampleProfile draws a style profile from the hyperprior.
+func sampleProfile(rng *rand.Rand) *StyleProfile {
+	p := &StyleProfile{
+		ExclaimRate:    beta(rng, 1, 8),
+		EllipsisRate:   beta(rng, 1, 10),
+		QuestionRate:   0.5 + 0.4*rng.Float64(),
+		CommaRate:      rng.Float64(),
+		LowercaseIRate: skewedRate(rng, 0.35),
+		CapsRate:       beta(rng, 1, 12),
+		NoCapsRate:     skewedRate(rng, 0.25),
+		MisspellRate:   0.3 + 0.5*rng.Float64(),
+		EmoticonRate:   skewedRate(rng, 0.3),
+		DigitStyle:     rng.Float64() < 0.5,
+		GreetRate:      beta(rng, 2, 4),
+		CloseRate:      beta(rng, 2, 4),
+		FillerRate:     beta(rng, 1, 12),
+		SentenceLen:    8 + 10*rng.Float64(),
+		ParaRate:       beta(rng, 1, 6),
+
+		GreetChoice:    zipfChoice(rng, len(greetings)),
+		CloseChoice:    zipfChoice(rng, len(closers)),
+		EmoticonChoice: zipfChoice(rng, len(emoticons)),
+		DoubleExclaim:  rng.Float64() < 0.2,
+		AmpersandRate:  skewedRate(rng, 0.2),
+		StarEmphasis:   rng.Float64() < 0.15,
+		TildeApprox:    rng.Float64() < 0.15,
+		DoseRate:       0.2 + 0.5*rng.Float64(),
+	}
+
+	// Personal dosage strings: the person's actual prescriptions, cited
+	// whenever they discuss their medication.
+	doseVals := []int{50, 100, 10, 20, 25, 200, 5, 40, 75, 150, 300, 500}
+	nDoses := 1 + rng.Intn(3)
+	spaced := rng.Float64() < 0.4
+	for i := 0; i < nDoses; i++ {
+		v := doseVals[zipfChoice(rng, len(doseVals))]
+		if spaced {
+			p.Doses = append(p.Doses, fmt.Sprintf("%d mg", v))
+		} else {
+			p.Doses = append(p.Doses, fmt.Sprintf("%dmg", v))
+		}
+	}
+
+	// Habitual misspellings: a handful of words this person always gets
+	// wrong, drawn from the Table I misspelling inventory. Selection is
+	// biased toward corrections the sentence templates actually emit so
+	// the habit leaves a trace in the generated posts.
+	nMiss := 2 + rng.Intn(4)
+	p.Misspellings = make(map[string]string, nMiss)
+	for i := 0; i < nMiss; i++ {
+		var wrong string
+		if i == 0 || rng.Float64() < 0.85 {
+			right := generatableCorrections[zipfChoice(rng, len(generatableCorrections))]
+			wrongs := misspellingsByCorrection[right]
+			wrong = wrongs[rng.Intn(len(wrongs))]
+		} else {
+			wrong = lexicon.MisspellingList[rng.Intn(len(lexicon.MisspellingList))]
+		}
+		p.Misspellings[lexicon.Misspellings[wrong]] = wrong
+	}
+
+	// Filler preferences: mild per-author tilt over a shared vocabulary.
+	p.FillerChoice = make([]float64, len(fillers))
+	for i := range p.FillerChoice {
+		p.FillerChoice[i] = 0.3 + rng.Float64()
+	}
+
+	// Connector synonym preference per group; common synonyms ("but",
+	// "because") are most people's habit, rare ones ("whilst"-style) are the
+	// identifying tail.
+	p.ConnectorPref = make([]int, len(connectors))
+	for i, group := range connectors {
+		p.ConnectorPref[i] = zipfChoice(rng, len(group))
+	}
+
+	// Personal catchphrases, Zipf-popular: a handful of phrases are
+	// everyone's favourites, the tail is identifying.
+	nCatch := 1 + rng.Intn(2)
+	seen := map[int]bool{}
+	for len(p.Catchphrases) < nCatch {
+		c := zipfChoice(rng, len(catchphrases))
+		if !seen[c] {
+			seen[c] = true
+			p.Catchphrases = append(p.Catchphrases, c)
+		}
+	}
+	p.CatchRate = 0.15 + 0.45*rng.Float64()
+
+	// Template preferences: a mild tilt, not a fingerprint — sentence
+	// construction choice is mostly situational.
+	p.TemplateWeight = make([]float64, numTemplates)
+	for i := range p.TemplateWeight {
+		p.TemplateWeight[i] = 0.4 + rng.Float64()
+	}
+
+	// 1–3 personal conditions / boards.
+	nb := 1 + rng.Intn(3)
+	perm := rng.Perm(len(boards))
+	p.Boards = append(p.Boards, perm[:nb]...)
+	return p
+}
+
+// misspellingsByCorrection inverts the lexicon misspelling map.
+var misspellingsByCorrection = func() map[string][]string {
+	out := map[string][]string{}
+	for wrong, right := range lexicon.Misspellings {
+		out[right] = append(out[right], wrong)
+	}
+	for _, ws := range out {
+		sort.Strings(ws)
+	}
+	return out
+}()
+
+// generatableCorrections are corrections whose words the sentence templates
+// emit, so a misspelling habit actually shows up in posts.
+var generatableCorrections = func() []string {
+	candidates := []string{
+		"because", "definitely", "really", "doctor", "until", "stomach",
+		"experience", "tomorrow", "probably", "completely",
+	}
+	var out []string
+	for _, c := range candidates {
+		if len(misspellingsByCorrection[c]) > 0 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		panic("synth: no generatable misspelling corrections")
+	}
+	return out
+}()
+
+// beta draws an approximate Beta(a, b) sample via the mean of a/b-weighted
+// uniforms — cheap and adequate for habit rates.
+func beta(rng *rand.Rand, a, b float64) float64 {
+	x := 0.0
+	n := 4
+	for i := 0; i < n; i++ {
+		x += rng.Float64()
+	}
+	mean := a / (a + b)
+	return clamp01(mean * (x / float64(n)) * 2)
+}
+
+// skewedRate is 0 for most people and large for a few: habits like writing
+// lowercase "i" cluster in the population.
+func skewedRate(rng *rand.Rand, pHave float64) float64 {
+	if rng.Float64() > pHave {
+		return 0
+	}
+	return 0.5 + 0.5*rng.Float64()
+}
+
+// zipfChoice draws an index with P(i) proportional to 1/(i+1), so early
+// entries are population-wide favourites and late entries identifying
+// rarities.
+func zipfChoice(rng *rand.Rand, n int) int {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	r := rng.Float64() * total
+	for i := 0; i < n; i++ {
+		r -= 1 / float64(i+1)
+		if r <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// pickWeighted draws an index proportionally to w (uniform if all zero).
+func pickWeighted(rng *rand.Rand, w []float64) int {
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return rng.Intn(len(w))
+	}
+	r := rng.Float64() * total
+	for i, x := range w {
+		r -= x
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dehealth/internal/linkage"
+)
+
+// ServiceConfig shapes one external service in the synthetic Internet.
+type ServiceConfig struct {
+	// Name is the service label ("facebook", "twitter", ...).
+	Name string
+	// Coverage is the probability a person has an account.
+	Coverage float64
+	// ShowsName / ShowsCity / ShowsBirthYear / ShowsPhone control which
+	// identity attributes the profile exposes publicly.
+	ShowsName, ShowsCity, ShowsBirthYear, ShowsPhone bool
+	// AvatarRate is the probability an account has a profile photo.
+	AvatarRate float64
+}
+
+// DefaultServices models the external services of the §VI proof-of-concept
+// attack: the social networks AvatarLink reached (Facebook, Twitter,
+// LinkedIn, Google+) and the Whitepages people-search site used for
+// enrichment.
+func DefaultServices() []ServiceConfig {
+	return []ServiceConfig{
+		{Name: "facebook", Coverage: 0.60, ShowsName: true, ShowsCity: true, AvatarRate: 0.8},
+		{Name: "twitter", Coverage: 0.35, ShowsName: false, ShowsCity: true, AvatarRate: 0.6},
+		{Name: "linkedin", Coverage: 0.30, ShowsName: true, ShowsCity: true, AvatarRate: 0.7},
+		{Name: "googleplus", Coverage: 0.20, ShowsName: true, ShowsCity: false, AvatarRate: 0.5},
+		{Name: "whitepages", Coverage: 0.75, ShowsName: true, ShowsCity: true, ShowsBirthYear: true, ShowsPhone: true, AvatarRate: 0},
+	}
+}
+
+// SocialDirectory materializes external-service profiles for the universe's
+// persons. Persons who reuse usernames/avatars do so here as well — the
+// behaviour NameLink and AvatarLink exploit.
+func SocialDirectory(u *Universe, services []ServiceConfig, seed int64) *linkage.Directory {
+	rng := rand.New(rand.NewSource(seed))
+	var profiles []linkage.Profile
+	for _, svc := range services {
+		for _, p := range u.Persons {
+			if rng.Float64() >= svc.Coverage {
+				continue
+			}
+			prof := linkage.Profile{Service: svc.Name, PersonID: p.ID}
+			if p.ReusesUsername {
+				prof.Username = p.Username
+			} else {
+				prof.Username = FreshUsername(p, rng)
+			}
+			if svc.Name == "whitepages" {
+				// People-search sites key on legal names, not usernames.
+				prof.Username = fmt.Sprintf("%s.%s.%d", p.First, p.Last, rng.Intn(1000))
+			}
+			if svc.ShowsName {
+				prof.FullName = title(p.First) + " " + title(p.Last)
+			}
+			if svc.ShowsCity {
+				prof.City = p.City
+			}
+			if svc.ShowsBirthYear {
+				prof.BirthYear = p.BirthYear
+			}
+			if svc.ShowsPhone {
+				prof.Phone = p.Phone
+			}
+			if rng.Float64() < svc.AvatarRate {
+				if p.ReusesAvatar {
+					prof.AvatarHash = PerturbedAvatar(p, 2, rng)
+				} else {
+					prof.AvatarHash = rng.Uint64()
+				}
+			}
+			profiles = append(profiles, prof)
+		}
+	}
+	return linkage.NewDirectory(profiles)
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,272 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// numberWords maps spelled numbers to digits for the DigitStyle habit.
+var numberWords = map[string]string{
+	"one": "1", "two": "2", "three": "3", "four": "4", "five": "5",
+	"six": "6", "seven": "7", "eight": "8", "nine": "9", "ten": "10",
+	"twenty": "20", "thirty": "30",
+}
+
+// textGen generates posts for one author.
+type textGen struct {
+	p   *StyleProfile
+	rng *rand.Rand
+
+	// damp scales habit rates for the current post. Real authors do not
+	// exhibit every habit in every post — mood, haste and topic suppress
+	// them — so each post draws its own style discipline in (0, 1]. This is
+	// the knob that keeps post-level attribution hard (the paper's
+	// Stylometry baseline fails with 10–20 posts) while user-level
+	// aggregation across posts still accumulates the fingerprint.
+	damp float64
+}
+
+// rate returns the per-post dampened version of a habit rate.
+func (g *textGen) rate(r float64) float64 { return r * g.damp }
+
+// Post generates a post of roughly targetWords words about the board topic.
+func (g *textGen) Post(b Board, targetWords int) string {
+	g.damp = 0.15 + 0.7*g.rng.Float64()
+	var sb strings.Builder
+	words := 0
+
+	if g.rng.Float64() < g.p.GreetRate {
+		words += g.writeSentence(&sb, g.pickHabitual(greetings, g.p.GreetChoice), false)
+	}
+	for words < targetWords {
+		s, question := g.sentence(b)
+		words += g.writeSentence(&sb, s, question)
+		if g.rng.Float64() < g.p.ParaRate {
+			sb.WriteString("\n\n")
+		}
+	}
+	if g.rng.Float64() < g.p.CloseRate {
+		s := g.pickHabitual(closers, g.p.CloseChoice)
+		g.writeSentence(&sb, s, strings.HasPrefix(s, "has anyone") || strings.HasPrefix(s, "please"))
+	}
+	if g.rng.Float64() < g.rate(g.p.CatchRate) {
+		cp := catchphrases[g.p.Catchphrases[g.rng.Intn(len(g.p.Catchphrases))]]
+		g.writeSentence(&sb, cp, false)
+	}
+	if g.rng.Float64() < g.rate(g.p.EmoticonRate) {
+		sb.WriteString(" ")
+		sb.WriteString(g.pickHabitual(emoticons, g.p.EmoticonChoice))
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// ShortReply generates a brief, nearly style-free reply — the bulk of real
+// forum traffic. One to three generic sentences, still passed through the
+// author's styling pass at the post's damp level.
+func (g *textGen) ShortReply(b Board) string {
+	g.damp = 0.15 + 0.7*g.rng.Float64()
+	var sb strings.Builder
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		raw := genericReplies[g.rng.Intn(len(genericReplies))]
+		question := strings.HasPrefix(raw, "did") || strings.HasPrefix(raw, "how")
+		g.writeSentence(&sb, raw, question)
+	}
+	if g.rng.Float64() < g.rate(g.p.EmoticonRate) {
+		sb.WriteString(" ")
+		sb.WriteString(g.pickHabitual(emoticons, g.p.EmoticonChoice))
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// pickHabitual returns the person's habitual choice most of the time and a
+// random alternative otherwise.
+func (g *textGen) pickHabitual(xs []string, habit int) string {
+	if g.rng.Float64() < 0.3+0.4*g.damp {
+		return xs[habit]
+	}
+	return xs[g.rng.Intn(len(xs))]
+}
+
+// numTemplates is the number of sentence constructions the generator knows.
+const numTemplates = 12
+
+// sentence builds one raw sentence (lowercase, unstyled) and reports whether
+// it is a question.
+func (g *textGen) sentence(b Board) (string, bool) {
+	pick := func(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+	conn := func(group int) string {
+		if g.rng.Float64() < g.rate(0.7) {
+			return connectors[group][g.p.ConnectorPref[group]]
+		}
+		return connectors[group][g.rng.Intn(len(connectors[group]))]
+	}
+	switch pickWeighted(g.rng, g.p.TemplateWeight) {
+	case 0: // symptom report
+		return "i " + pick(feelVerbs) + " " + pick(intensity) + " " + pick(b.Symptoms) +
+			" in my " + pick(bodyParts) + " for " + pick(durations), false
+	case 1: // diagnosis
+		return "i was diagnosed with " + pick(b.Conditions) + " " +
+			pick(durations) + " ago and it has been getting worse", false
+	case 2: // doctor visit
+		return "my " + pick(doctorNouns) + " " + pick(adviceVerbs) + " " +
+			pick(b.Meds) + " " + conn(1) + " my " + pick(testNouns) +
+			" came back abnormal", false
+	case 3: // medication experience, optionally citing the personal dose
+		med := pick(b.Meds)
+		if g.rng.Float64() < g.rate(g.p.DoseRate) {
+			med = g.p.Doses[g.rng.Intn(len(g.p.Doses))] + " of " + med
+		}
+		return "i have been taking " + med + " for " + pick(durations) +
+			" " + conn(0) + " the " + pick(b.Symptoms) + " is still there", false
+	case 4: // question
+		return "has anyone here tried " + pick(b.Meds) + " for " +
+			pick(b.Conditions), true
+	case 5: // timing pattern
+		return "the " + pick(b.Symptoms) + " gets worse " + pick(timesOfDay) +
+			" and " + conn(2) + " it is related to my " + pick(b.Conditions), false
+	case 6: // worry
+		return "i am " + pick(intensity) + " worried " + conn(1) +
+			" the " + pick(b.Symptoms) + " keeps coming back " + pick(timesOfDay), false
+	case 7: // dose change
+		if len(g.p.Doses) > 0 && g.rng.Float64() < g.rate(g.p.DoseRate) {
+			return "my " + pick(doctorNouns) + " " + pick(adviceVerbs) + " " +
+				g.p.Doses[g.rng.Intn(len(g.p.Doses))] + " of " + pick(b.Meds) +
+				" " + conn(4) + " i am hoping it helps with the " + pick(b.Symptoms), false
+		}
+		return "my " + pick(doctorNouns) + " ordered a " + pick(testNouns) +
+			" " + conn(4) + " we can rule out " + pick(b.Conditions), false
+	case 8: // conditional pattern
+		return "whenever i try to sleep the " + pick(b.Symptoms) +
+			" gets worse until i take " + pick(b.Meds) + " again", false
+	case 9: // contrastive experience
+		return "despite taking " + pick(b.Meds) + " throughout the day i still get " +
+			pick(b.Symptoms) + " whereas before it was never this bad", false
+	case 10: // community question
+		return "does anybody know whether " + pick(b.Meds) + " could cause " +
+			pick(b.Symptoms) + " or should i look into " + pick(b.Conditions) + " instead", true
+	default: // test / plan
+		return "my " + pick(doctorNouns) + " ordered a " + pick(testNouns) +
+			" " + conn(4) + " we can rule out " + pick(b.Conditions), false
+	}
+}
+
+// writeSentence applies the author's style to raw and appends it; returns
+// the number of words written.
+func (g *textGen) writeSentence(sb *strings.Builder, raw string, question bool) int {
+	tokens := strings.Fields(raw)
+	styled := make([]string, 0, len(tokens)+2)
+	fillersUsed := 0
+	for i, t := range tokens {
+		// Habitual misspellings.
+		if wrong, ok := g.p.Misspellings[t]; ok && g.rng.Float64() < g.rate(g.p.MisspellRate) {
+			t = wrong
+		}
+		// Digit style.
+		if g.p.DigitStyle {
+			if d, ok := numberWords[t]; ok {
+				t = d
+				if g.p.TildeApprox && g.rng.Float64() < g.rate(0.5) {
+					t = "~" + t
+				}
+			}
+		}
+		// Ampersand habit.
+		if t == "and" && g.rng.Float64() < g.rate(g.p.AmpersandRate) {
+			t = "&"
+		}
+		// Filler insertion (bounded per sentence).
+		if i > 0 && fillersUsed < 2 && g.rng.Float64() < g.rate(g.p.FillerRate) {
+			styled = append(styled, fillers[pickWeighted(g.rng, g.p.FillerChoice)])
+			fillersUsed++
+		}
+		// Comma before connectors.
+		if i > 0 && isConnector(t) && g.rng.Float64() < g.p.CommaRate && len(styled) > 0 {
+			styled[len(styled)-1] += ","
+		}
+		// Emphasis on intensity words.
+		if isIntensity(t) {
+			if g.rng.Float64() < g.rate(g.p.CapsRate) {
+				t = strings.ToUpper(t)
+			} else if g.p.StarEmphasis && g.rng.Float64() < g.rate(0.6) {
+				t = "*" + t + "*"
+			}
+		}
+		styled = append(styled, t)
+	}
+	s := strings.Join(styled, " ")
+
+	// Capitalization of sentence start and the pronoun I.
+	if g.rng.Float64() >= g.rate(g.p.NoCapsRate) {
+		s = capitalizeFirst(s)
+	}
+	if g.rng.Float64() >= g.rate(g.p.LowercaseIRate) {
+		s = replaceStandaloneI(s)
+	}
+
+	// Terminator.
+	switch {
+	case question && g.rng.Float64() < g.p.QuestionRate:
+		s += "?"
+	case g.rng.Float64() < g.rate(g.p.ExclaimRate):
+		if g.p.DoubleExclaim {
+			s += "!!"
+		} else {
+			s += "!"
+		}
+	case g.rng.Float64() < g.rate(g.p.EllipsisRate):
+		s += "..."
+	default:
+		s += "."
+	}
+	if sb.Len() > 0 && !strings.HasSuffix(sb.String(), "\n\n") {
+		sb.WriteString(" ")
+	}
+	sb.WriteString(s)
+	return len(styled)
+}
+
+func isConnector(w string) bool {
+	for _, group := range connectors {
+		for _, c := range group {
+			if w == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isIntensity(w string) bool {
+	for _, x := range intensity {
+		if w == x {
+			return true
+		}
+	}
+	return false
+}
+
+func capitalizeFirst(s string) string {
+	for i, r := range s {
+		if r >= 'a' && r <= 'z' {
+			return s[:i] + strings.ToUpper(string(r)) + s[i+len(string(r)):]
+		}
+		if r >= 'A' && r <= 'Z' {
+			return s
+		}
+	}
+	return s
+}
+
+// replaceStandaloneI uppercases the pronoun "i".
+func replaceStandaloneI(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if f == "i" {
+			fields[i] = "I"
+		} else if f == "i," {
+			fields[i] = "I,"
+		}
+	}
+	return strings.Join(fields, " ")
+}

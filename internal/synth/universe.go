@@ -1,0 +1,153 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Person is a ground-truth real-world identity. Forum accounts and external
+// service profiles all derive from persons; the linkage attack of §VI is
+// scored against these.
+type Person struct {
+	ID        int
+	First     string
+	Last      string
+	BirthYear int
+	City      string
+	Phone     string
+
+	// Username is the person's preferred username; ReusesUsername persons
+	// use it on every service (the Perito et al. behaviour NameLink
+	// exploits). Others derive a fresh username per service.
+	Username       string
+	ReusesUsername bool
+
+	// Avatar is the person's photo fingerprint; ReusesAvatar persons upload
+	// the same photo on every service (the behaviour AvatarLink exploits).
+	Avatar       uint64
+	ReusesAvatar bool
+
+	// Profile is the person's writing style, shared by all their accounts.
+	Profile *StyleProfile
+}
+
+// Universe is a population of persons with identities, styles, usernames
+// and avatars, shared across all generated services.
+type Universe struct {
+	Persons []*Person
+	rng     *rand.Rand
+}
+
+var (
+	firstNames = []string{
+		"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+		"linda", "william", "elizabeth", "david", "barbara", "richard",
+		"susan", "joseph", "jessica", "thomas", "sarah", "charles", "karen",
+		"christopher", "nancy", "daniel", "lisa", "matthew", "betty",
+		"anthony", "margaret", "mark", "sandra", "donald", "ashley",
+		"steven", "kimberly", "paul", "emily", "andrew", "donna", "joshua",
+		"michelle", "kenneth", "dorothy", "kevin", "carol", "brian",
+		"amanda", "george", "melissa", "edward", "deborah", "ronald",
+		"stephanie", "timothy", "rebecca", "jason", "sharon", "jeffrey",
+		"laura", "ryan", "cynthia", "jacob", "kathleen", "gary", "amy",
+		"nicholas", "shirley", "eric", "angela", "jonathan", "helen",
+		"stephen", "anna", "larry", "brenda", "justin", "pamela", "scott",
+		"nicole", "brandon", "emma", "benjamin", "samantha", "samuel",
+		"katherine", "gregory", "christine", "frank", "debra", "alexander",
+		"rachel", "raymond", "catherine", "patrick", "carolyn", "jack",
+		"janet", "dennis", "ruth", "jerry", "maria",
+	}
+	lastNames = []string{
+		"smith", "johnson", "williams", "brown", "jones", "garcia",
+		"miller", "davis", "rodriguez", "martinez", "hernandez", "lopez",
+		"gonzalez", "wilson", "anderson", "thomas", "taylor", "moore",
+		"jackson", "martin", "lee", "perez", "thompson", "white", "harris",
+		"sanchez", "clark", "ramirez", "lewis", "robinson", "walker",
+		"young", "allen", "king", "wright", "scott", "torres", "nguyen",
+		"hill", "flores", "green", "adams", "nelson", "baker", "hall",
+		"rivera", "campbell", "mitchell", "carter", "roberts", "gomez",
+		"phillips", "evans", "turner", "diaz", "parker", "cruz", "edwards",
+		"collins", "reyes", "stewart", "morris", "morales", "murphy",
+		"cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper",
+		"peterson", "bailey", "reed", "kelly", "howard", "ramos", "kim",
+		"cox", "ward", "richardson", "watson", "brooks", "chavez", "wood",
+		"james", "bennett", "gray", "mendoza", "ruiz", "hughes", "price",
+		"alvarez", "castillo", "sanders", "patel", "myers", "long", "ross",
+		"foster", "wolf",
+	}
+	cities = []string{
+		"los angeles", "new york", "chicago", "houston", "phoenix",
+		"philadelphia", "san antonio", "san diego", "dallas", "san jose",
+		"austin", "jacksonville", "columbus", "fort worth", "charlotte",
+		"seattle", "denver", "boston", "portland", "memphis", "nashville",
+		"baltimore", "milwaukee", "albuquerque", "tucson", "fresno",
+		"sacramento", "kansas city", "atlanta", "omaha", "miami",
+		"oakland", "tulsa", "cleveland", "minneapolis", "wichita",
+	}
+	petWords = []string{
+		"sunshine", "butterfly", "dreamer", "wanderer", "hopeful", "warrior",
+		"phoenix", "sparrow", "willow", "clover", "breeze", "ember",
+		"meadow", "pebble", "aurora", "juniper",
+	}
+)
+
+// NewUniverse creates n persons with deterministic identities given seed.
+func NewUniverse(n int, seed int64) *Universe {
+	rng := rand.New(rand.NewSource(seed))
+	u := &Universe{rng: rng}
+	for i := 0; i < n; i++ {
+		p := &Person{
+			ID:        i,
+			First:     firstNames[rng.Intn(len(firstNames))],
+			Last:      lastNames[rng.Intn(len(lastNames))],
+			BirthYear: 1940 + rng.Intn(60),
+			City:      cities[rng.Intn(len(cities))],
+			Phone: fmt.Sprintf("(%03d) %03d-%04d",
+				200+rng.Intn(700), 200+rng.Intn(700), rng.Intn(10000)),
+			ReusesUsername: rng.Float64() < 0.55, // Perito: most users reuse
+			Avatar:         rng.Uint64(),
+			ReusesAvatar:   rng.Float64() < 0.25,
+			Profile:        sampleProfile(rng),
+		}
+		p.Username = makeUsername(p, rng)
+		u.Persons = append(u.Persons, p)
+	}
+	return u
+}
+
+// makeUsername derives a username from the person's identity. Patterns span
+// the entropy spectrum: initial+last+digits usernames ("jwolf6589") are
+// nearly unique, pet words with small digits collide across persons.
+func makeUsername(p *Person, rng *rand.Rand) string {
+	switch rng.Intn(6) {
+	case 0: // high entropy: initial + last + 4 digits
+		return fmt.Sprintf("%c%s%04d", p.First[0], p.Last, rng.Intn(10000))
+	case 1: // high entropy: first + last + 2 digits
+		return fmt.Sprintf("%s%s%02d", p.First, p.Last, rng.Intn(100))
+	case 2: // medium: first + birth year
+		return fmt.Sprintf("%s%d", p.First, p.BirthYear)
+	case 3: // medium: last + first initial + digit
+		return fmt.Sprintf("%s%c%d", p.Last, p.First[0], rng.Intn(10))
+	case 4: // low entropy: pet word + small number
+		return fmt.Sprintf("%s%d", petWords[rng.Intn(len(petWords))], rng.Intn(100))
+	default: // low entropy: first name + small number
+		return fmt.Sprintf("%s%d", p.First, rng.Intn(100))
+	}
+}
+
+// FreshUsername returns a service-specific username for persons who do not
+// reuse their preferred one. The caller supplies the rng so generation stays
+// deterministic per service regardless of call order.
+func FreshUsername(p *Person, rng *rand.Rand) string { return makeUsername(p, rng) }
+
+// PerturbedAvatar returns the person's avatar fingerprint with up to
+// maxFlips random bit flips — re-encoded/rescaled uploads of the same photo
+// hash near, but not exactly at, the original.
+func PerturbedAvatar(p *Person, maxFlips int, rng *rand.Rand) uint64 {
+	h := p.Avatar
+	flips := rng.Intn(maxFlips + 1)
+	for i := 0; i < flips; i++ {
+		h ^= 1 << uint(rng.Intn(64))
+	}
+	return h
+}
