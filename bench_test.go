@@ -11,7 +11,10 @@ import (
 	"sync"
 	"testing"
 
+	"dehealth/internal/core"
 	"dehealth/internal/eval"
+	"dehealth/internal/features"
+	"dehealth/internal/similarity"
 	"dehealth/internal/stylometry"
 )
 
@@ -220,6 +223,61 @@ func BenchmarkAblationFilter(b *testing.B) {
 			printOnce("ablation-filter", t.String())
 		}
 	}
+}
+
+// BenchmarkFeatureStore measures feature-store construction — the dominant
+// cost of an attack — serial versus worker-pool parallel, on one forum's
+// full post set.
+func BenchmarkFeatureStore(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 150, HBUsers: 150, Seed: 41})
+	ex := features.NewExtractor(w.WebMD.Texts(), 100)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // all CPUs
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				features.Build(w.WebMD, ex, features.Options{Workers: bench.workers})
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentGridReuse contrasts the seed architecture (rebuild the
+// pipeline — and re-extract every feature — per grid point) with the shared
+// feature store (extract once, derive a pipeline per grid point). The grid
+// is a 4-point similarity-weight sweep with a Top-5 selection each, the
+// shape of every eval experiment loop.
+func BenchmarkExperimentGridReuse(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 100, HBUsers: 100, Seed: 42})
+	split := SplitClosedWorld(w.WebMD, 0.5, 43)
+	grid := []similarity.Config{
+		{C1: 1, C2: 0, C3: 0, Landmarks: 5},
+		{C1: 0, C2: 1, C3: 0, Landmarks: 5},
+		{C1: 0, C2: 0, C3: 1, Landmarks: 5},
+		{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5},
+	}
+	b.Run("rebuild-per-config", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range grid {
+				p := core.NewPipeline(split.Anon, split.Aux, cfg, 50)
+				p.TopK(5, core.DirectSelection, nil)
+			}
+		}
+	})
+	b.Run("shared-store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+			base := core.NewPipelineFromStore(anonS, auxS, grid[0])
+			for _, cfg := range grid {
+				p := base.WithSimilarity(cfg)
+				p.TopK(5, core.DirectSelection, nil)
+			}
+		}
+	})
 }
 
 // BenchmarkStylometryExtract measures single-post feature extraction, the

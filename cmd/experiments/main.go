@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,8 +30,14 @@ func main() {
 		runs    = flag.Int("runs", 2, "averaging runs for the refined-DA experiments")
 		users   = flag.Int("refined-users", 50, "population size for Fig.4")
 		seed    = flag.Int64("seed", 1902, "world seed")
+		workers = flag.Int("workers", 0, "worker-pool bound for feature extraction and scoring (0 = all CPUs)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		// The eval experiments size their extraction pools and row-parallel
+		// scoring off GOMAXPROCS; this bounds the whole run.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*run, ",") {

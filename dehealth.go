@@ -20,15 +20,40 @@
 //	split := dehealth.SplitClosedWorld(world.WebMD, 0.5, 7)
 //	res, err := dehealth.Attack(split.Anon, split.Aux, dehealth.DefaultOptions())
 //	// res.Mapping[u] is the de-anonymized auxiliary user of anonymized user u (or -1).
+//
+// # Extract once, attack many
+//
+// Almost all of an attack's cost is stylometric feature extraction — every
+// post of both datasets maps to a 400+-dimensional Table I vector — and
+// that work depends only on the (anonymized, auxiliary) dataset pair, not
+// on the attack configuration. PrepareWorld materializes those features
+// once, in parallel (see Options.Workers), into a shared feature store and
+// returns a PreparedWorld whose Attack method runs any number of
+// configurations (candidate-set sizes, classifiers, open-world schemes,
+// similarity weights) against the cached artifacts:
+//
+//	pw := dehealth.PrepareWorld(split.Anon, split.Aux, dehealth.DefaultOptions())
+//	for _, k := range []int{5, 10, 20} {
+//		opt := dehealth.DefaultOptions()
+//		opt.K = k
+//		res, err := pw.Attack(opt)
+//		// ...
+//	}
+//
+// Attack(anon, aux, opt) is equivalent to PrepareWorld(anon, aux,
+// opt).Attack(opt) and produces identical results; the one-shot form simply
+// discards the store afterwards.
 package dehealth
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"dehealth/internal/anonymize"
 	"dehealth/internal/core"
 	"dehealth/internal/corpus"
+	"dehealth/internal/features"
 	"dehealth/internal/linkage"
 	"dehealth/internal/ml"
 	"dehealth/internal/similarity"
@@ -147,6 +172,9 @@ type Options struct {
 	CosineThreshold float64
 	// MaxBigrams caps the POS-bigram feature block (default 300).
 	MaxBigrams int
+	// Workers bounds the worker pool used for feature extraction when
+	// preparing the attack's feature store (<= 0 uses all CPUs).
+	Workers int
 	// Seed drives all randomized components.
 	Seed int64
 }
@@ -212,16 +240,67 @@ func (o Options) scheme() (core.OpenWorldScheme, error) {
 	}
 }
 
-// Attack runs the full two-phase De-Health attack: build UDA graphs, select
-// Top-K candidate sets, optionally filter, and run refined DA. trueMapping
-// (optional, evaluation only) can be supplied via AttackWithTruth.
-func Attack(anon, aux *Dataset, opt Options) (*Result, error) {
-	return AttackWithTruth(anon, aux, opt, nil)
+// PreparedWorld is an (anonymized, auxiliary) dataset pair with its feature
+// store already materialized: the fitted extractor, every post's stylometric
+// vector, the per-user attribute sets and the UDA graphs. Build one with
+// PrepareWorld, then run any number of attack configurations against it —
+// only the phase that actually depends on the configuration (similarity
+// weighting, Top-K selection, filtering, refined DA) is recomputed per
+// Attack call. A PreparedWorld is safe for concurrent Attack calls.
+type PreparedWorld struct {
+	// Anon and Aux are the datasets the world was prepared from.
+	Anon, Aux *Dataset
+
+	anonStore, auxStore *features.Store
+
+	mu        sync.Mutex
+	pipelines map[similarity.Config]*core.Pipeline
+}
+
+// PrepareWorld extracts the feature store of the dataset pair once, using
+// opt.MaxBigrams for the POS-bigram block (fitted on aux, the adversary's
+// data) and opt.Workers extraction workers. The remaining Options fields
+// are ignored here; pass them to (*PreparedWorld).Attack.
+func PrepareWorld(anon, aux *Dataset, opt Options) *PreparedWorld {
+	anonS, auxS := features.BuildPair(anon, aux, opt.MaxBigrams, features.Options{Workers: opt.Workers})
+	return &PreparedWorld{
+		Anon: anon, Aux: aux,
+		anonStore: anonS, auxStore: auxS,
+		pipelines: map[similarity.Config]*core.Pipeline{},
+	}
+}
+
+// pipeline returns the cached pipeline for cfg, deriving it from an
+// existing pipeline with the same landmark count when possible (sharing the
+// landmark-distance caches) and building it from the stores otherwise.
+func (w *PreparedWorld) pipeline(cfg similarity.Config) *core.Pipeline {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if p, ok := w.pipelines[cfg]; ok {
+		return p
+	}
+	for c, p := range w.pipelines {
+		if c.Landmarks == cfg.Landmarks {
+			q := p.WithSimilarity(cfg)
+			w.pipelines[cfg] = q
+			return q
+		}
+	}
+	p := core.NewPipelineFromStore(w.anonStore, w.auxStore, cfg)
+	w.pipelines[cfg] = p
+	return p
+}
+
+// Attack runs one attack configuration against the prepared world. Only
+// opt's attack parameters are consulted; the feature-store parameters
+// (MaxBigrams, Workers) were fixed at PrepareWorld time.
+func (w *PreparedWorld) Attack(opt Options) (*Result, error) {
+	return w.AttackWithTruth(opt, nil)
 }
 
 // AttackWithTruth is Attack plus ground truth for rank bookkeeping; the
 // truth never influences the attack itself.
-func AttackWithTruth(anon, aux *Dataset, opt Options, trueMapping map[int]int) (*Result, error) {
+func (w *PreparedWorld) AttackWithTruth(opt Options, trueMapping map[int]int) (*Result, error) {
 	if opt.K <= 0 {
 		opt.K = 10
 	}
@@ -240,8 +319,7 @@ func AttackWithTruth(anon, aux *Dataset, opt Options, trueMapping map[int]int) (
 		return nil, err
 	}
 
-	simCfg := similarity.Config{C1: opt.C1, C2: opt.C2, C3: opt.C3, Landmarks: opt.Landmarks}
-	p := core.NewPipeline(anon, aux, simCfg, opt.MaxBigrams)
+	p := w.pipeline(similarity.Config{C1: opt.C1, C2: opt.C2, C3: opt.C3, Landmarks: opt.Landmarks})
 
 	sel := core.DirectSelection
 	if opt.GraphMatching {
@@ -271,6 +349,28 @@ func AttackWithTruth(anon, aux *Dataset, opt Options, trueMapping map[int]int) (
 		return nil, err
 	}
 	return &Result{Mapping: res.Mapping, TopK: tk, Pipeline: p}, nil
+}
+
+// Attack runs the full two-phase De-Health attack: build UDA graphs, select
+// Top-K candidate sets, optionally filter, and run refined DA. trueMapping
+// (optional, evaluation only) can be supplied via AttackWithTruth. Callers
+// running several configurations over the same dataset pair should use
+// PrepareWorld to pay the feature-extraction cost once.
+func Attack(anon, aux *Dataset, opt Options) (*Result, error) {
+	return AttackWithTruth(anon, aux, opt, nil)
+}
+
+// AttackWithTruth is Attack plus ground truth for rank bookkeeping; the
+// truth never influences the attack itself.
+func AttackWithTruth(anon, aux *Dataset, opt Options, trueMapping map[int]int) (*Result, error) {
+	// Reject invalid options before paying for feature extraction.
+	if _, err := opt.classifierFactory(); err != nil {
+		return nil, err
+	}
+	if _, err := opt.scheme(); err != nil {
+		return nil, err
+	}
+	return PrepareWorld(anon, aux, opt).AttackWithTruth(opt, trueMapping)
 }
 
 // ScrubLevel selects how aggressively the style-scrubbing defense rewrites

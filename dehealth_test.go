@@ -112,6 +112,106 @@ func TestAttackSchemes(t *testing.T) {
 	}
 }
 
+func TestPrepareWorldParity(t *testing.T) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 60, HBUsers: 60, Seed: 21})
+	split := SplitClosedWorld(w.WebMD, 0.5, 22)
+	opt := DefaultOptions()
+	opt.K = 5
+	opt.Classifier = KNN
+	opt.MaxBigrams = 50
+
+	oneShot, err := AttackWithTruth(split.Anon, split.Aux, opt, split.TrueMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := PrepareWorld(split.Anon, split.Aux, opt)
+	prepared, err := pw.AttackWithTruth(opt, split.TrueMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range oneShot.Mapping {
+		if oneShot.Mapping[u] != prepared.Mapping[u] {
+			t.Fatalf("mapping[%d]: one-shot %d != prepared %d", u, oneShot.Mapping[u], prepared.Mapping[u])
+		}
+	}
+	for u := range oneShot.TopK.TrueRank {
+		if oneShot.TopK.TrueRank[u] != prepared.TopK.TrueRank[u] {
+			t.Fatalf("true rank[%d]: one-shot %d != prepared %d", u, oneShot.TopK.TrueRank[u], prepared.TopK.TrueRank[u])
+		}
+	}
+}
+
+func TestPreparedWorldConfigGrid(t *testing.T) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 50, HBUsers: 50, Seed: 23})
+	split := SplitOpenWorld(w.WebMD, 0.5, 24)
+	base := DefaultOptions()
+	base.MaxBigrams = 50
+	pw := PrepareWorld(split.Anon, split.Aux, base)
+
+	// Sweep K, classifier and scheme over one prepared world; every
+	// configuration must run and yield a well-formed mapping.
+	for _, k := range []int{3, 5} {
+		for _, scheme := range []Scheme{Closed, MeanVerification} {
+			opt := base
+			opt.K = k
+			opt.Classifier = KNN
+			opt.Scheme = scheme
+			res, err := pw.AttackWithTruth(opt, split.TrueMapping)
+			if err != nil {
+				t.Fatalf("K=%d scheme=%s: %v", k, scheme, err)
+			}
+			if len(res.Mapping) != split.Anon.NumUsers() {
+				t.Fatalf("K=%d scheme=%s: mapping size %d", k, scheme, len(res.Mapping))
+			}
+			for _, v := range res.Mapping {
+				if v < -1 || v >= split.Aux.NumUsers() {
+					t.Fatalf("K=%d scheme=%s: mapping out of range: %d", k, scheme, v)
+				}
+			}
+		}
+	}
+	// Re-weighting the similarity must also be servable from the cache.
+	opt := base
+	opt.C1, opt.C2, opt.C3 = 0.3, 0.3, 0.4
+	opt.Classifier = KNN
+	if _, err := pw.Attack(opt); err != nil {
+		t.Fatalf("re-weighted attack: %v", err)
+	}
+	bad := base
+	bad.Classifier = "bogus"
+	if _, err := pw.Attack(bad); err == nil {
+		t.Error("bogus classifier accepted by prepared world")
+	}
+}
+
+func TestPrepareWorldWorkersIrrelevant(t *testing.T) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 40, HBUsers: 40, Seed: 25})
+	split := SplitClosedWorld(w.WebMD, 0.5, 26)
+	opt := DefaultOptions()
+	opt.K = 3
+	opt.Classifier = KNN
+	opt.MaxBigrams = 50
+
+	serial := opt
+	serial.Workers = 1
+	parallel := opt
+	parallel.Workers = 0 // all CPUs
+
+	a, err := PrepareWorld(split.Anon, split.Aux, serial).AttackWithTruth(serial, split.TrueMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrepareWorld(split.Anon, split.Aux, parallel).AttackWithTruth(parallel, split.TrueMapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Mapping {
+		if a.Mapping[u] != b.Mapping[u] {
+			t.Fatalf("mapping[%d]: serial %d != parallel %d", u, a.Mapping[u], b.Mapping[u])
+		}
+	}
+}
+
 func TestLinkageFacade(t *testing.T) {
 	w := GenerateWorld(WorldConfig{WebMDUsers: 400, HBUsers: 400, Seed: 12})
 	res := Linkage(w.WebMD, w.Directory)

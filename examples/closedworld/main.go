@@ -14,6 +14,7 @@ import (
 	"dehealth/internal/core"
 	"dehealth/internal/corpus"
 	"dehealth/internal/eval"
+	"dehealth/internal/features"
 	"dehealth/internal/ml"
 	"dehealth/internal/similarity"
 )
@@ -25,8 +26,11 @@ func main() {
 	split := corpus.SplitClosedWorld(d, 0.5, rand.New(rand.NewSource(3)))
 	fmt.Printf("population: %d users x %d posts (10 train / 10 test)\n", users, posts)
 
+	// Extract the stylometric feature store once; the whole K-grid below
+	// (and the baseline) reads it instead of re-extracting per setting.
 	simCfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
-	p := core.NewPipeline(split.Anon, split.Aux, simCfg, 100)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 100, features.Options{})
+	p := core.NewPipelineFromStore(anonS, auxS, simCfg)
 	opt := core.RefineOptions{
 		NewClassifier: func() ml.Classifier { return ml.NewSMO(ml.SMOConfig{C: 1, Seed: 5}) },
 		Scheme:        core.ClosedWorld,
@@ -52,8 +56,11 @@ func main() {
 		fmt.Printf("De-Health (K=%-2d):    accuracy %.1f%%\n", k, 100*a)
 	}
 
-	// The same attack is available through the public facade:
-	pub, err := dehealth.AttackWithTruth(split.Anon, split.Aux, dehealth.Options{
+	// The same extract-once workflow is available through the public
+	// facade: PrepareWorld builds the store, then any number of attack
+	// configurations reuse it.
+	pw := dehealth.PrepareWorld(split.Anon, split.Aux, dehealth.Options{MaxBigrams: 100})
+	pub, err := pw.AttackWithTruth(dehealth.Options{
 		K: 5, Classifier: dehealth.SMO, MaxBigrams: 100,
 	}, split.TrueMapping)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"dehealth/internal/core"
 	"dehealth/internal/corpus"
 	"dehealth/internal/eval"
+	"dehealth/internal/features"
 	"dehealth/internal/ml"
 	"dehealth/internal/similarity"
 )
@@ -25,8 +26,10 @@ func main() {
 	fmt.Printf("anonymized: %d users, auxiliary: %d users, overlapping: %d\n",
 		split.Anon.NumUsers(), split.Aux.NumUsers(), split.NumOverlapping())
 
+	// One feature store backs all three open-world schemes below.
 	simCfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
-	p := core.NewPipeline(split.Anon, split.Aux, simCfg, 100)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 100, features.Options{})
+	p := core.NewPipelineFromStore(anonS, auxS, simCfg)
 
 	run := func(name string, scheme core.OpenWorldScheme) {
 		tk := p.TopK(10, core.DirectSelection, split.TrueMapping)

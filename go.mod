@@ -1,0 +1,3 @@
+module dehealth
+
+go 1.24

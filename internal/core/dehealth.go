@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"dehealth/internal/corpus"
+	"dehealth/internal/features"
 	"dehealth/internal/graph"
 	"dehealth/internal/ml"
 	"dehealth/internal/similarity"
@@ -88,17 +89,45 @@ type Pipeline struct {
 // and prepares the similarity scorer. The POS-bigram feature block is fitted
 // on the auxiliary texts (the adversary's data), with maxBigrams capping its
 // size (<= 0 uses the default).
+//
+// NewPipeline is a convenience wrapper that builds a throwaway feature-store
+// pair internally; callers that run more than one configuration over the
+// same split should build the stores once with features.BuildPair and use
+// NewPipelineFromStore, which skips re-extraction entirely.
 func NewPipeline(anon, aux *corpus.Dataset, simCfg similarity.Config, maxBigrams int) *Pipeline {
-	ex := stylometry.New()
-	ex.FitBigrams(aux.Texts(), maxBigrams)
-	g1 := graph.BuildUDA(anon, ex)
-	g2 := graph.BuildUDA(aux, ex)
+	anonS, auxS := features.BuildPair(anon, aux, maxBigrams, features.Options{})
+	return NewPipelineFromStore(anonS, auxS, simCfg)
+}
+
+// NewPipelineFromStore assembles a pipeline from prebuilt feature stores,
+// reusing their cached UDA graphs, post vectors and attribute sets. Both
+// stores must have been built with the same fitted extractor (as
+// features.BuildPair does) so the feature spaces line up; it panics
+// otherwise — two separately fitted extractors can agree on dimensionality
+// while indexing different POS bigrams, which would silently corrupt every
+// similarity score. The stores are not modified and can back any number of
+// concurrent pipelines.
+func NewPipelineFromStore(anon, aux *features.Store, simCfg similarity.Config) *Pipeline {
+	if anon.Extractor != aux.Extractor {
+		panic("core: stores were built with different extractors; build both with the same fitted extractor (see features.BuildPair)")
+	}
+	g1, g2 := anon.UDA(), aux.UDA()
 	return &Pipeline{
-		Anon: anon, Aux: aux,
-		Extractor: ex,
+		Anon: anon.Dataset, Aux: aux.Dataset,
+		Extractor: aux.Extractor,
 		G1:        g1, G2: g2,
 		Scorer: similarity.NewScorer(g1, g2, simCfg),
 	}
+}
+
+// WithSimilarity returns a pipeline sharing this pipeline's datasets,
+// graphs and feature artifacts but scoring under cfg. When cfg keeps the
+// landmark count the scorer's precomputed landmark-distance caches are
+// shared too, making a similarity-weight sweep nearly free.
+func (p *Pipeline) WithSimilarity(cfg similarity.Config) *Pipeline {
+	q := *p
+	q.Scorer = p.Scorer.Reweighted(cfg)
+	return &q
 }
 
 // TopK runs the Top-K DA phase (Algorithm 1, lines 2–5). trueMapping is

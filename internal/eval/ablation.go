@@ -6,6 +6,7 @@ import (
 
 	"dehealth/internal/core"
 	"dehealth/internal/corpus"
+	"dehealth/internal/features"
 	"dehealth/internal/similarity"
 )
 
@@ -24,6 +25,11 @@ func AblationWeights(c *Corpora, k int) Table {
 		Title:  fmt.Sprintf("Ablation: similarity weights (closed-world WebMD, Top-%d success)", k),
 		Header: []string{"c1 (degree)", "c2 (distance)", "c3 (attribute)", fmt.Sprintf("top-%d success", k)},
 	}
+	// Feature extraction, graph construction and the landmark-distance
+	// caches are weight-independent: build them once and re-weight the
+	// scorer per sweep point.
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 200, features.Options{})
+	base := core.NewPipelineFromStore(anonS, auxS, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 50})
 	for _, w := range [][3]float64{
 		{1, 0, 0},
 		{0, 1, 0},
@@ -33,7 +39,7 @@ func AblationWeights(c *Corpora, k int) Table {
 		{1.0 / 3, 1.0 / 3, 1.0 / 3},
 	} {
 		cfg := similarity.Config{C1: w[0], C2: w[1], C3: w[2], Landmarks: 50}
-		p := core.NewPipeline(split.Anon, split.Aux, cfg, 200)
+		p := base.WithSimilarity(cfg)
 		tk := p.TopK(k, core.DirectSelection, split.TrueMapping)
 		cdf := TopKSuccessCDF(tk, split.TrueMapping, []int{k})
 		t.AddRow(
@@ -54,7 +60,8 @@ func AblationSelection(seed int64) Table {
 	rng := rand.New(rand.NewSource(seed + 1))
 	split := corpus.SplitClosedWorld(d, 0.5, rng)
 	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
-	p := core.NewPipeline(split.Anon, split.Aux, cfg, 100)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 100, features.Options{})
+	p := core.NewPipelineFromStore(anonS, auxS, cfg)
 
 	t := Table{
 		Title:  "Ablation: Top-K candidate selection strategy (60 users x 16 posts)",
@@ -93,7 +100,8 @@ func AblationFilter(seed int64) Table {
 	rng := rand.New(rand.NewSource(seed + 1))
 	split := corpus.OpenWorldOverlap(d, 0.5, rng)
 	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
-	p := core.NewPipeline(split.Anon, split.Aux, cfg, 100)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 100, features.Options{})
+	p := core.NewPipelineFromStore(anonS, auxS, cfg)
 
 	t := Table{
 		Title:  "Ablation: Algorithm 2 filtering (open-world, 50% overlap)",

@@ -6,6 +6,7 @@ import (
 
 	"dehealth/internal/core"
 	"dehealth/internal/corpus"
+	"dehealth/internal/features"
 	"dehealth/internal/graph"
 	"dehealth/internal/ml"
 	"dehealth/internal/similarity"
@@ -168,7 +169,8 @@ func Fig3(c *Corpora, ks []int) []Series {
 		for _, frac := range []float64{0.5, 0.7, 0.9} {
 			rng := rand.New(rand.NewSource(c.Scale.Seed + int64(frac*100)))
 			split := corpus.SplitClosedWorld(ds.d, frac, rng)
-			p := core.NewPipeline(split.Anon, split.Aux, similarity.DefaultConfig(), 200)
+			anonS, auxS := features.BuildPair(split.Anon, split.Aux, 200, features.Options{})
+			p := core.NewPipelineFromStore(anonS, auxS, similarity.DefaultConfig())
 			maxK := ks[len(ks)-1]
 			tk := p.TopK(maxK, core.DirectSelection, split.TrueMapping)
 			out = append(out, Series{
@@ -199,7 +201,8 @@ func Fig5(c *Corpora, ks []int) []Series {
 		for _, ratio := range []float64{0.5, 0.7, 0.9} {
 			rng := rand.New(rand.NewSource(c.Scale.Seed + int64(ratio*1000)))
 			split := corpus.OpenWorldOverlap(ds.d, ratio, rng)
-			p := core.NewPipeline(split.Anon, split.Aux, similarity.DefaultConfig(), 200)
+			anonS, auxS := features.BuildPair(split.Anon, split.Aux, 200, features.Options{})
+			p := core.NewPipelineFromStore(anonS, auxS, similarity.DefaultConfig())
 			maxK := ks[len(ks)-1]
 			tk := p.TopK(maxK, core.DirectSelection, split.TrueMapping)
 			out = append(out, Series{
@@ -272,38 +275,51 @@ func Fig4(cfg RefinedConfig) Table {
 		t.Header = append(t.Header, fmt.Sprintf("De-Health(K=%d)", k))
 	}
 
+	// One split — and therefore one feature store and one Top-K result per
+	// K — is shared by every classifier of a (posts, run) cell; only the
+	// refined-DA phase differs per classifier.
+	specs := refinedClassifiers()
 	for _, posts := range []int{20, 40} {
 		train := posts / 2
-		for _, spec := range refinedClassifiers() {
-			accSty := 0.0
-			accDH := make([]float64, len(cfg.Ks))
-			for run := 0; run < cfg.Runs; run++ {
-				seed := cfg.Seed + int64(run*1000+posts)
-				d, _ := RefinedCorpus(cfg.Users, posts, seed)
-				rng := rand.New(rand.NewSource(seed + 5))
-				split := corpus.SplitClosedWorld(d, 0.5, rng)
-				simCfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
-				p := core.NewPipeline(split.Anon, split.Aux, simCfg, cfg.MaxBigrams)
+		accSty := make([]float64, len(specs))
+		accDH := make([][]float64, len(specs))
+		for si := range specs {
+			accDH[si] = make([]float64, len(cfg.Ks))
+		}
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + int64(run*1000+posts)
+			d, _ := RefinedCorpus(cfg.Users, posts, seed)
+			rng := rand.New(rand.NewSource(seed + 5))
+			split := corpus.SplitClosedWorld(d, 0.5, rng)
+			simCfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+			anonS, auxS := features.BuildPair(split.Anon, split.Aux, cfg.MaxBigrams, features.Options{})
+			p := core.NewPipelineFromStore(anonS, auxS, simCfg)
+			tks := make([]*core.TopKResult, len(cfg.Ks))
+			for ki, k := range cfg.Ks {
+				tks[ki] = p.TopK(k, core.DirectSelection, split.TrueMapping)
+			}
 
+			for si, spec := range specs {
 				opt := core.RefineOptions{NewClassifier: spec.mk, Scheme: core.ClosedWorld, Seed: seed}
 				if sty, err := p.StylometryBaseline(opt); err == nil {
 					a, _ := AccuracyFP(sty, split.TrueMapping)
-					accSty += a
+					accSty[si] += a
 				}
-				for ki, k := range cfg.Ks {
-					tk := p.TopK(k, core.DirectSelection, split.TrueMapping)
-					if res, err := p.RefinedDA(tk, opt); err == nil {
+				for ki := range cfg.Ks {
+					if res, err := p.RefinedDA(tks[ki], opt); err == nil {
 						a, _ := AccuracyFP(res, split.TrueMapping)
-						accDH[ki] += a
+						accDH[si][ki] += a
 					}
 				}
 			}
+		}
+		for si, spec := range specs {
 			row := []string{
 				fmt.Sprintf("%s-%d", spec.name, train),
-				fmt.Sprintf("%.3f", accSty/float64(cfg.Runs)),
+				fmt.Sprintf("%.3f", accSty[si]/float64(cfg.Runs)),
 			}
 			for ki := range cfg.Ks {
-				row = append(row, fmt.Sprintf("%.3f", accDH[ki]/float64(cfg.Runs)))
+				row = append(row, fmt.Sprintf("%.3f", accDH[si][ki]/float64(cfg.Runs)))
 			}
 			t.AddRow(row...)
 		}
@@ -342,22 +358,38 @@ func Fig6(cfg RefinedConfig) (Table, Table) {
 		fpt.Header = append(fpt.Header, h)
 	}
 
+	// As in Fig4, the split, its feature store and the filtered Top-K
+	// results are built once per (ratio, run) and shared by every
+	// classifier; the filter is deterministic, so filtering each Top-K
+	// result once up front matches the per-classifier filtering it replaces.
+	specs := refinedClassifiers()
 	for _, ratio := range []float64{0.5, 0.7, 0.9} {
 		// Pool size n such that each side gets cfg.Users users:
 		// x = ratio*U, y = (1-ratio)*U, n = x + 2y = U(2-ratio).
 		pool := int(float64(cfg.Users) * (2 - ratio))
-		for _, spec := range refinedClassifiers() {
-			accSty, fpSty := 0.0, 0.0
-			accDH := make([]float64, len(cfg.Ks))
-			fpDH := make([]float64, len(cfg.Ks))
-			for run := 0; run < cfg.Runs; run++ {
-				seed := cfg.Seed + int64(run*977+int(ratio*100))
-				d, _ := RefinedCorpus(pool, cfg.PostsPerUser, seed)
-				rng := rand.New(rand.NewSource(seed + 5))
-				split := corpus.OpenWorldOverlap(d, ratio, rng)
-				simCfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
-				p := core.NewPipeline(split.Anon, split.Aux, simCfg, cfg.MaxBigrams)
+		accSty := make([]float64, len(specs))
+		fpSty := make([]float64, len(specs))
+		accDH := make([][]float64, len(specs))
+		fpDH := make([][]float64, len(specs))
+		for si := range specs {
+			accDH[si] = make([]float64, len(cfg.Ks))
+			fpDH[si] = make([]float64, len(cfg.Ks))
+		}
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + int64(run*977+int(ratio*100))
+			d, _ := RefinedCorpus(pool, cfg.PostsPerUser, seed)
+			rng := rand.New(rand.NewSource(seed + 5))
+			split := corpus.OpenWorldOverlap(d, ratio, rng)
+			simCfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+			anonS, auxS := features.BuildPair(split.Anon, split.Aux, cfg.MaxBigrams, features.Options{})
+			p := core.NewPipelineFromStore(anonS, auxS, simCfg)
+			tks := make([]*core.TopKResult, len(cfg.Ks))
+			for ki, k := range cfg.Ks {
+				tks[ki] = p.TopK(k, core.DirectSelection, split.TrueMapping)
+				p.Filter(tks[ki], core.FilterConfig{Epsilon: 0.01, L: 10})
+			}
 
+			for si, spec := range specs {
 				opt := core.RefineOptions{
 					NewClassifier: spec.mk,
 					Scheme:        core.MeanVerification,
@@ -371,25 +403,25 @@ func Fig6(cfg RefinedConfig) (Table, Table) {
 				styOpt.Scheme = core.ClosedWorld
 				if sty, err := p.StylometryBaseline(styOpt); err == nil {
 					a, f := AccuracyFP(sty, split.TrueMapping)
-					accSty += a
-					fpSty += f
+					accSty[si] += a
+					fpSty[si] += f
 				}
-				for ki, k := range cfg.Ks {
-					tk := p.TopK(k, core.DirectSelection, split.TrueMapping)
-					p.Filter(tk, core.FilterConfig{Epsilon: 0.01, L: 10})
-					if res, err := p.RefinedDA(tk, opt); err == nil {
+				for ki := range cfg.Ks {
+					if res, err := p.RefinedDA(tks[ki], opt); err == nil {
 						a, f := AccuracyFP(res, split.TrueMapping)
-						accDH[ki] += a
-						fpDH[ki] += f
+						accDH[si][ki] += a
+						fpDH[si][ki] += f
 					}
 				}
 			}
-			n := float64(cfg.Runs)
-			rowA := []string{fmt.Sprintf("%d%%-%s", int(ratio*100), spec.name), fmt.Sprintf("%.3f", accSty/n)}
-			rowF := []string{fmt.Sprintf("%d%%-%s", int(ratio*100), spec.name), fmt.Sprintf("%.3f", fpSty/n)}
+		}
+		n := float64(cfg.Runs)
+		for si, spec := range specs {
+			rowA := []string{fmt.Sprintf("%d%%-%s", int(ratio*100), spec.name), fmt.Sprintf("%.3f", accSty[si]/n)}
+			rowF := []string{fmt.Sprintf("%d%%-%s", int(ratio*100), spec.name), fmt.Sprintf("%.3f", fpSty[si]/n)}
 			for ki := range cfg.Ks {
-				rowA = append(rowA, fmt.Sprintf("%.3f", accDH[ki]/n))
-				rowF = append(rowF, fmt.Sprintf("%.3f", fpDH[ki]/n))
+				rowA = append(rowA, fmt.Sprintf("%.3f", accDH[si][ki]/n))
+				rowF = append(rowF, fmt.Sprintf("%.3f", fpDH[si][ki]/n))
 			}
 			acc.AddRow(rowA...)
 			fpt.AddRow(rowF...)

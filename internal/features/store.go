@@ -1,0 +1,197 @@
+// Package features is the shared feature-store layer of the De-Health
+// pipeline: stylometric feature matrices extracted once per dataset and
+// reused by every downstream consumer (UDA graph construction, Top-K
+// structural similarity, threshold filtering and refined-DA classification).
+//
+// The De-Health attack spends almost all of its time extracting the Table I
+// stylometric vector of every post, yet the same (dataset, extractor) pair
+// is consumed by many experiment configurations — similarity weights,
+// candidate-set sizes K, classifiers, open-world schemes. A Store
+// materializes the whole |posts| × M feature matrix once, with a bounded
+// worker pool over posts, into a single flat backing array; everything
+// above it (the UDA graph, per-user post slices, attribute sets) is a view
+// or a cached derivation. Building a Store and fanning an experiment grid
+// out over it replaces per-configuration re-extraction with O(1) reuse.
+package features
+
+import (
+	"runtime"
+	"sync"
+
+	"dehealth/internal/corpus"
+	"dehealth/internal/graph"
+	"dehealth/internal/stylometry"
+)
+
+// Options configures store construction.
+type Options struct {
+	// Workers bounds the feature-extraction worker pool. <= 0 uses
+	// GOMAXPROCS (all CPUs).
+	Workers int
+}
+
+// workerCount resolves Options.Workers against the job count n.
+func (o Options) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Store is a fitted extractor plus the dataset's fully materialized feature
+// artifacts: the flat post-feature matrix, per-user post-vector slices, the
+// derived attribute sets, and (lazily) the UDA graph. A Store is immutable
+// after Build and safe for concurrent use.
+type Store struct {
+	// Dataset is the forum the features were extracted from.
+	Dataset *corpus.Dataset
+	// Extractor is the fitted feature space shared with the sibling store
+	// (fit the POS-bigram block on the auxiliary texts, as the adversary
+	// would).
+	Extractor *stylometry.Extractor
+
+	dim     int
+	flat    []float64     // |posts| × dim feature matrix, post-major
+	rows    [][]float64   // rows[i] = post i's vector, a view into flat
+	perUser [][][]float64 // perUser[u] = u's post vectors in post order
+	attrs   []stylometry.AttrSet
+
+	udaOnce sync.Once
+	uda     *graph.UDA
+}
+
+// NewExtractor fits a fresh extractor's POS-bigram block on refTexts
+// (conventionally the auxiliary texts — the adversary's data). maxBigrams
+// <= 0 uses the stylometry default.
+func NewExtractor(refTexts []string, maxBigrams int) *stylometry.Extractor {
+	ex := stylometry.New()
+	ex.FitBigrams(refTexts, maxBigrams)
+	return ex
+}
+
+// Build extracts every post of d with ex into a new Store, running the
+// extraction over a bounded worker pool. The resulting per-user vectors are
+// bit-identical to ex.ExtractAll over d.UserTexts(): extraction is
+// deterministic per post, and parallelism only reorders which worker fills
+// which row of the flat matrix.
+func Build(d *corpus.Dataset, ex *stylometry.Extractor, opt Options) *Store {
+	n := len(d.Posts)
+	dim := ex.NumFeatures()
+	s := &Store{
+		Dataset:   d,
+		Extractor: ex,
+		dim:       dim,
+		flat:      make([]float64, n*dim),
+		rows:      make([][]float64, n),
+	}
+	parallelFor(n, opt.workerCount(n), func(i int) {
+		row := s.flat[i*dim : (i+1)*dim : (i+1)*dim]
+		ex.ExtractInto(row, d.Posts[i].Text)
+		s.rows[i] = row
+	})
+
+	byUser := d.PostsByUser()
+	s.perUser = make([][][]float64, len(d.Users))
+	s.attrs = make([]stylometry.AttrSet, len(d.Users))
+	parallelFor(len(d.Users), opt.workerCount(len(d.Users)), func(u int) {
+		idxs := byUser[u]
+		vs := make([][]float64, len(idxs))
+		for k, i := range idxs {
+			vs[k] = s.rows[i]
+		}
+		s.perUser[u] = vs
+		s.attrs[u] = stylometry.UserAttributes(vs)
+	})
+	return s
+}
+
+// BuildPair fits an extractor on the auxiliary texts and builds the stores
+// of both sides of an attack — the standard preparation step of the
+// two-phase De-Health pipeline.
+func BuildPair(anon, aux *corpus.Dataset, maxBigrams int, opt Options) (anonStore, auxStore *Store) {
+	ex := NewExtractor(aux.Texts(), maxBigrams)
+	return Build(anon, ex, opt), Build(aux, ex, opt)
+}
+
+// parallelFor runs f(i) for i in [0, n) over workers goroutines, in chunks
+// to keep scheduling overhead off the hot path. With workers == 1 it
+// degenerates to a plain loop.
+func parallelFor(n, workers int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	const chunk = 32
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				start := next
+				next += chunk
+				mu.Unlock()
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NumPosts returns the number of rows in the feature matrix.
+func (s *Store) NumPosts() int { return len(s.rows) }
+
+// Dim returns M, the width of the feature matrix.
+func (s *Store) Dim() int { return s.dim }
+
+// Row returns post i's feature vector (a view into the flat backing; do not
+// modify).
+func (s *Store) Row(i int) []float64 { return s.rows[i] }
+
+// PostVectors returns the per-user post vectors in post order (shared
+// views; do not modify). The shape matches graph.UDA.PostVectors.
+func (s *Store) PostVectors() [][][]float64 { return s.perUser }
+
+// UserVectors returns user u's post vectors in post order (shared views; do
+// not modify).
+func (s *Store) UserVectors(u int) [][]float64 { return s.perUser[u] }
+
+// Attrs returns the per-user attribute sets A(u)/WA(u) (shared; do not
+// modify).
+func (s *Store) Attrs() []stylometry.AttrSet { return s.attrs }
+
+// UDA returns the dataset's User-Data-Attribute graph over the store's
+// vectors, building the correlation-graph topology on first call and
+// caching it. Safe for concurrent use.
+func (s *Store) UDA() *graph.UDA {
+	s.udaOnce.Do(func() {
+		s.uda = graph.BuildUDAFromVectors(s.Dataset, s.perUser, s.attrs)
+	})
+	return s.uda
+}

@@ -28,14 +28,22 @@ type Edge struct {
 }
 
 // Graph is a weighted undirected user correlation graph.
+//
+// Edges are accumulated into per-node hash maps while the graph is being
+// built (so AddEdge is O(1) even on dense co-discussion threads) and frozen
+// into adjacency slices sorted by neighbor id on first read. Freezing is
+// transparent: any read re-freezes a dirty graph, and AddEdge on a frozen
+// graph thaws it back into maps. Reads of a frozen graph are safe from many
+// goroutines; building is single-goroutine.
 type Graph struct {
-	n   int
-	adj [][]Edge
+	n        int
+	adj      [][]Edge          // frozen adjacency, sorted by To; valid when building == nil
+	building []map[int]float64 // edge accumulator, non-nil while building
 }
 
 // NewGraph creates an empty graph with n nodes.
 func NewGraph(n int) *Graph {
-	return &Graph{n: n, adj: make([][]Edge, n)}
+	return &Graph{n: n, building: make([]map[int]float64, n)}
 }
 
 // NumNodes returns the number of nodes.
@@ -43,6 +51,7 @@ func (g *Graph) NumNodes() int { return g.n }
 
 // NumEdges returns the number of undirected edges.
 func (g *Graph) NumEdges() int {
+	g.Freeze()
 	total := 0
 	for _, es := range g.adj {
 		total += len(es)
@@ -56,28 +65,80 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 	if u == v {
 		return
 	}
+	if g.building == nil {
+		g.thaw()
+	}
 	g.bump(u, v, w)
 	g.bump(v, u, w)
 }
 
 func (g *Graph) bump(u, v int, w float64) {
-	for i := range g.adj[u] {
-		if g.adj[u][i].To == v {
-			g.adj[u][i].Weight += w
-			return
-		}
+	m := g.building[u]
+	if m == nil {
+		m = make(map[int]float64)
+		g.building[u] = m
 	}
-	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+	m[v] += w
 }
 
-// Neighbors returns u's adjacency list (shared slice; do not modify).
-func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+// Freeze materializes the adjacency slices (sorted by neighbor id) and
+// releases the edge-accumulator maps. Idempotent; every read method freezes
+// implicitly, so calling it explicitly only matters to control when the
+// one-time cost is paid.
+func (g *Graph) Freeze() {
+	if g.building == nil {
+		return
+	}
+	adj := make([][]Edge, g.n)
+	for u, m := range g.building {
+		if len(m) == 0 {
+			continue
+		}
+		es := make([]Edge, 0, len(m))
+		for v, w := range m {
+			es = append(es, Edge{To: v, Weight: w})
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+		adj[u] = es
+	}
+	g.adj = adj
+	g.building = nil
+}
+
+// thaw converts the frozen adjacency back into accumulator maps so more
+// edges can be added.
+func (g *Graph) thaw() {
+	b := make([]map[int]float64, g.n)
+	for u, es := range g.adj {
+		if len(es) == 0 {
+			continue
+		}
+		m := make(map[int]float64, len(es))
+		for _, e := range es {
+			m[e.To] = e.Weight
+		}
+		b[u] = m
+	}
+	g.building = b
+	g.adj = nil
+}
+
+// Neighbors returns u's adjacency list, sorted by neighbor id (shared slice;
+// do not modify).
+func (g *Graph) Neighbors(u int) []Edge {
+	g.Freeze()
+	return g.adj[u]
+}
 
 // Degree returns d_u, the number of neighbors of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	g.Freeze()
+	return len(g.adj[u])
+}
 
 // WeightedDegree returns wd_u, the sum of incident edge weights.
 func (g *Graph) WeightedDegree(u int) float64 {
+	g.Freeze()
 	var s float64
 	for _, e := range g.adj[u] {
 		s += e.Weight
@@ -87,10 +148,11 @@ func (g *Graph) WeightedDegree(u int) float64 {
 
 // EdgeWeight returns the weight of edge u—v, or 0 if absent.
 func (g *Graph) EdgeWeight(u, v int) float64 {
-	for _, e := range g.adj[u] {
-		if e.To == v {
-			return e.Weight
-		}
+	g.Freeze()
+	es := g.adj[u]
+	i := sort.Search(len(es), func(k int) bool { return es[k].To >= v })
+	if i < len(es) && es[i].To == v {
+		return es[i].Weight
 	}
 	return 0
 }
@@ -98,6 +160,7 @@ func (g *Graph) EdgeWeight(u, v int) float64 {
 // NCS returns u's Neighborhood Correlation Strength vector: the incident
 // edge weights in decreasing order (§II-B).
 func (g *Graph) NCS(u int) []float64 {
+	g.Freeze()
 	out := make([]float64, len(g.adj[u]))
 	for i, e := range g.adj[u] {
 		out[i] = e.Weight
@@ -109,6 +172,7 @@ func (g *Graph) NCS(u int) []float64 {
 // BFSDistances returns hop distances from src to every node; -1 marks
 // unreachable nodes.
 func (g *Graph) BFSDistances(src int) []int {
+	g.Freeze()
 	dist := make([]int, g.n)
 	for i := range dist {
 		dist[i] = -1
@@ -132,6 +196,7 @@ func (g *Graph) BFSDistances(src int) []int {
 // of weight w has length 1/w (stronger interaction = closer), computed with
 // Dijkstra. Unreachable nodes get +Inf.
 func (g *Graph) WeightedDistances(src int) []float64 {
+	g.Freeze()
 	dist := make([]float64, g.n)
 	for i := range dist {
 		dist[i] = math.Inf(1)
@@ -207,6 +272,7 @@ func (h *distHeap) pop() distItem {
 // Components labels each node with a connected-component id (0-based,
 // ordered by first-seen node) and returns the labels and component count.
 func (g *Graph) Components() (labels []int, count int) {
+	g.Freeze()
 	labels = make([]int, g.n)
 	for i := range labels {
 		labels[i] = -1
@@ -236,6 +302,7 @@ func (g *Graph) Components() (labels []int, count int) {
 // community detection and returns a community label per node and the number
 // of communities. Deterministic for a given rng seed.
 func (g *Graph) LabelPropagation(rng *rand.Rand, maxIter int) (labels []int, count int) {
+	g.Freeze()
 	labels = make([]int, g.n)
 	for i := range labels {
 		labels[i] = i
@@ -288,6 +355,7 @@ func (g *Graph) LabelPropagation(rng *rand.Rand, maxIter int) (labels []int, cou
 // (used by the Fig.8 community-structure views), along with the kept node
 // ids in the original graph.
 func (g *Graph) DegreeFilter(minDeg int) (*Graph, []int) {
+	g.Freeze()
 	var keep []int
 	newID := make([]int, g.n)
 	for i := range newID {
@@ -307,6 +375,7 @@ func (g *Graph) DegreeFilter(minDeg int) (*Graph, []int) {
 			}
 		}
 	}
+	sub.Freeze()
 	return sub, keep
 }
 
@@ -395,6 +464,7 @@ func BuildCorrelation(d *corpus.Dataset) *Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -409,15 +479,31 @@ type UDA struct {
 	PostVectors [][][]float64
 }
 
-// BuildUDA constructs the UDA graph of a dataset with the given extractor.
+// BuildUDA constructs the UDA graph of a dataset with the given extractor,
+// extracting every post's feature vector serially. Callers that already hold
+// precomputed vectors (a features.Store) should use BuildUDAFromVectors,
+// which decouples graph topology from extraction.
 func BuildUDA(d *corpus.Dataset, ex *stylometry.Extractor) *UDA {
-	g := BuildCorrelation(d)
 	texts := d.UserTexts()
-	attrs := make([]stylometry.AttrSet, len(d.Users))
 	vecs := make([][][]float64, len(d.Users))
 	for u, ts := range texts {
 		vecs[u] = ex.ExtractAll(ts)
-		attrs[u] = stylometry.UserAttributes(vecs[u])
 	}
-	return &UDA{Graph: g, Attrs: attrs, PostVectors: vecs}
+	return BuildUDAFromVectors(d, vecs, nil)
+}
+
+// BuildUDAFromVectors constructs the UDA graph of a dataset from precomputed
+// per-user post vectors (postVectors[u] lists u's post vectors in post
+// order, as UserTexts orders them). attrs may be nil, in which case the
+// attribute sets are derived from the vectors; when supplied it must be the
+// per-user UserAttributes projection of postVectors.
+func BuildUDAFromVectors(d *corpus.Dataset, postVectors [][][]float64, attrs []stylometry.AttrSet) *UDA {
+	g := BuildCorrelation(d)
+	if attrs == nil {
+		attrs = make([]stylometry.AttrSet, len(d.Users))
+		for u, vs := range postVectors {
+			attrs[u] = stylometry.UserAttributes(vs)
+		}
+	}
+	return &UDA{Graph: g, Attrs: attrs, PostVectors: postVectors}
 }

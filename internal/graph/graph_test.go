@@ -360,3 +360,86 @@ func TestHandshakeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFreezeThawRoundtrip(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(0, 1, 2)
+	g.Freeze()
+	// Reading after freeze, then adding again (thaw), then reading must
+	// accumulate correctly and keep adjacency sorted by neighbor id.
+	if g.Degree(0) != 2 {
+		t.Fatalf("degree = %d, want 2", g.Degree(0))
+	}
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(0, 3, 1)
+	es := g.Neighbors(0)
+	want := []Edge{{To: 1, Weight: 2}, {To: 2, Weight: 4}, {To: 3, Weight: 2}}
+	if !reflect.DeepEqual(es, want) {
+		t.Fatalf("neighbors = %v, want %v", es, want)
+	}
+}
+
+// TestDenseConstruction exercises the map-backed edge accumulator on a
+// dense co-discussion clique (the case the old O(deg) linear-scan bump made
+// quadratic) and checks totals.
+func TestDenseConstruction(t *testing.T) {
+	const n = 120
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	if got, want := g.NumEdges(), n*(n-1)/2; got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+	for u := 0; u < n; u++ {
+		if g.Degree(u) != n-1 {
+			t.Fatalf("degree(%d) = %d, want %d", u, g.Degree(u), n-1)
+		}
+		es := g.Neighbors(u)
+		for i := 1; i < len(es); i++ {
+			if es[i-1].To >= es[i].To {
+				t.Fatalf("adjacency of %d not sorted at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestBuildUDAFromVectorsMatchesBuildUDA(t *testing.T) {
+	d := &corpus.Dataset{
+		Name: "t",
+		Users: []corpus.User{
+			{ID: 0, Name: "a", TrueIdentity: -1},
+			{ID: 1, Name: "b", TrueIdentity: -1},
+			{ID: 2, Name: "c", TrueIdentity: -1},
+		},
+		Threads: []corpus.Thread{{ID: 0, Board: "x", Starter: 0}},
+		Posts: []corpus.Post{
+			{ID: 0, User: 0, Thread: 0, Text: "i beleive the doctor is right"},
+			{ID: 1, User: 1, Thread: 0, Text: "numbers like 42 are nice"},
+			{ID: 2, User: 2, Thread: 0, Text: "Absolutely, AND emphatically so!"},
+			{ID: 3, User: 0, Thread: 0, Text: "a second opinion helps"},
+		},
+	}
+	ex := stylometry.New()
+	ex.FitBigrams(d.Texts(), 20)
+	want := BuildUDA(d, ex)
+
+	texts := d.UserTexts()
+	vecs := make([][][]float64, len(d.Users))
+	for u, ts := range texts {
+		vecs[u] = ex.ExtractAll(ts)
+	}
+	got := BuildUDAFromVectors(d, vecs, nil)
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges %d != %d", got.NumEdges(), want.NumEdges())
+	}
+	for u := range want.Attrs {
+		if !reflect.DeepEqual(got.Attrs[u].Idx, want.Attrs[u].Idx) ||
+			!reflect.DeepEqual(got.Attrs[u].Weight, want.Attrs[u].Weight) {
+			t.Fatalf("user %d attrs differ", u)
+		}
+	}
+}

@@ -54,6 +54,19 @@ func NewScorer(g1, g2 *graph.UDA, cfg Config) *Scorer {
 	return s
 }
 
+// Reweighted returns a scorer over the same graphs under a new Config. When
+// the landmark count is unchanged the precomputed NCS and landmark-closeness
+// caches are shared (the returned scorer only re-weights the three
+// components at Score time); otherwise the landmark vectors are recomputed.
+func (s *Scorer) Reweighted(cfg Config) *Scorer {
+	if cfg.Landmarks == s.cfg.Landmarks {
+		t := *s
+		t.cfg = cfg
+		return &t
+	}
+	return NewScorer(s.g1, s.g2, cfg)
+}
+
 func cacheNCS(g *graph.UDA) [][]float64 {
 	out := make([][]float64, g.NumNodes())
 	for u := 0; u < g.NumNodes(); u++ {

@@ -240,6 +240,21 @@ func (e *Extractor) CategoryCounts() map[Category]int {
 // posts of different lengths are comparable.
 func (e *Extractor) Extract(text string) []float64 {
 	v := make([]float64, len(e.features))
+	e.ExtractInto(v, text)
+	return v
+}
+
+// ExtractInto computes the feature vector of text into v, which must have
+// length NumFeatures. It zeroes v first, so rows of a shared backing array
+// can be reused. Extraction is read-only on the Extractor, so ExtractInto is
+// safe to call from many goroutines once fitting is done.
+func (e *Extractor) ExtractInto(v []float64, text string) {
+	if len(v) != len(e.features) {
+		panic(fmt.Sprintf("stylometry: ExtractInto dst has %d dims, want %d", len(v), len(e.features)))
+	}
+	for i := range v {
+		v[i] = 0
+	}
 
 	words := textutil.WordStrings(text)
 	nWords := float64(len(words))
@@ -382,8 +397,6 @@ func (e *Extractor) Extract(text string) []float64 {
 			}
 		}
 	}
-
-	return v
 }
 
 // ExtractAll extracts feature vectors for every text.
