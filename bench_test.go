@@ -7,9 +7,17 @@ package dehealth
 // cmd/experiments exposes the same experiments with configurable sizes.
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dehealth/internal/core"
 	"dehealth/internal/eval"
@@ -278,6 +286,171 @@ func BenchmarkExperimentGridReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkQueryUser measures the online single-user query path against
+// the full-matrix Top-K phase it replaces, and asserts its allocation
+// guarantee: per query, the bounded-heap path must stay far below one
+// similarity-matrix row (|aux| float64s), i.e. it never materializes rows.
+func BenchmarkQueryUser(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 400, HBUsers: 400, Seed: 91})
+	split := SplitClosedWorld(w.WebMD, 0.5, 92)
+	opt := DefaultOptions()
+	opt.MaxBigrams = 100
+	opt.Landmarks = 10
+	pw := PrepareWorld(split.Anon, split.Aux, opt)
+	anonN, auxN := pw.Sizes()
+	if _, err := pw.QueryUser(0, 10, opt); err != nil { // warm the pipeline cache
+		b.Fatal(err)
+	}
+
+	b.Run("query-user", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pw.QueryUser(i%anonN, 10, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-topk", func(b *testing.B) {
+		p := pw.pipeline(opt.normalized().simConfig())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.TopK(10, core.DirectSelection, nil)
+		}
+	})
+
+	// Allocation assertion: mean heap bytes per query must stay below one
+	// similarity-matrix row. A regression that materializes the row (or the
+	// matrix) fails the benchmark rather than silently shipping.
+	const rounds = 200
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		if _, err := pw.QueryUser(i%anonN, 10, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	perOp := (after.TotalAlloc - before.TotalAlloc) / rounds
+	if rowBytes := uint64(auxN) * 8; perOp >= rowBytes {
+		b.Fatalf("QueryUser allocates %d B/op, not below one similarity row (%d B): the no-matrix guarantee is broken", perOp, rowBytes)
+	}
+}
+
+// BenchmarkServeThroughput measures end-to-end HTTP query throughput of
+// the dehealthd service, micro-batched versus unbatched, with concurrent
+// clients. It writes a BENCH_serving.json summary next to the package so
+// the serving-path perf trajectory is tracked across PRs.
+func BenchmarkServeThroughput(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 250, HBUsers: 250, Seed: 93})
+	split := SplitClosedWorld(w.WebMD, 0.5, 94)
+	opt := DefaultOptions()
+	opt.MaxBigrams = 100
+	opt.Landmarks = 10
+	pw := PrepareWorld(split.Anon, split.Aux, opt)
+	anonN, auxN := pw.Sizes()
+	if _, err := pw.QueryUser(0, 10, opt); err != nil {
+		b.Fatal(err)
+	}
+
+	const clients = 16
+	qps := map[string]float64{}
+	modes := map[string]map[string]any{}
+	// The batched micro-batch size is kept at half the client concurrency
+	// so the size trigger (not the deadline) does the flushing under load;
+	// the deadline only bounds tail latency when traffic thins out.
+	for _, bc := range []struct {
+		name  string
+		batch int
+		flush time.Duration
+	}{
+		{"unbatched", 1, time.Millisecond},
+		{"batched", 8, 250 * time.Microsecond},
+	} {
+		modes[bc.name] = map[string]any{"max_batch": bc.batch, "flush_us": bc.flush.Microseconds()}
+		b.Run(bc.name, func(b *testing.B) {
+			srv := NewServer(pw, ServeOptions{Batch: bc.batch, FlushInterval: bc.flush, K: 10, Attack: opt})
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			client := ts.Client()
+
+			var next int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := atomic.AddInt64(&next, 1)
+						if i > int64(b.N) {
+							return
+						}
+						body := fmt.Sprintf(`{"user": %d, "k": 10}`, int(i)%anonN)
+						resp, err := client.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != 200 {
+							b.Errorf("status %d", resp.StatusCode)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			rate := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(rate, "qps")
+			if prev, ok := qps[bc.name]; !ok || rate > prev {
+				qps[bc.name] = rate
+			}
+		})
+	}
+
+	summary := map[string]any{
+		"benchmark": "serving",
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"world":     map[string]int{"anon_users": anonN, "aux_users": auxN},
+		"qps":       qps,
+		"config":    map[string]any{"clients": clients, "k": 10, "modes": modes},
+	}
+	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_serving.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_serving.json: %v", err)
+		}
+	}
+}
+
+// BenchmarkIngest measures incremental single-user ingestion into a live
+// prepared world — extraction, graph extension and similarity-cache sync.
+func BenchmarkIngest(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 250, HBUsers: 250, Seed: 95})
+	split := SplitClosedWorld(w.WebMD, 0.5, 96)
+	opt := DefaultOptions()
+	opt.MaxBigrams = 100
+	opt.Landmarks = 10
+	pw := PrepareWorld(split.Anon, split.Aux, opt)
+	if _, err := pw.QueryUser(0, 10, opt); err != nil {
+		b.Fatal(err)
+	}
+	text := split.Anon.Posts[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pw.IngestUser(fmt.Sprintf("bench-%d", i), []IngestPost{
+			{Thread: i % 3, Text: text},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkStylometryExtract measures single-post feature extraction, the

@@ -1,0 +1,91 @@
+// Command dehealthd runs the De-Health online query service: it prepares
+// an auxiliary world once, then serves single-user de-anonymization
+// queries and ingests newly observed anonymous accounts over HTTP — the
+// continuous-tracking threat model, as opposed to cmd/dehealth's offline
+// batch attack.
+//
+// Usage:
+//
+//	dehealthd -aux aux.json                          # start with an empty anonymized side
+//	dehealthd -aux aux.json -anon anon.json          # preload known anonymized accounts
+//	dehealthd -synth 300                             # demo mode: synthetic auxiliary world
+//	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2
+//
+// API:
+//
+//	POST /v1/query   {"user": 17, "k": 10}
+//	POST /v1/ingest  {"name": "jdoe", "posts": [{"text": "..."}, {"thread": 3, "text": "..."}]}
+//	GET  /v1/stats
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"dehealth"
+)
+
+func msToDuration(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8700", "HTTP listen address")
+		auxPath = flag.String("aux", "", "auxiliary dataset JSON (the adversary's world; required unless -synth)")
+		anon    = flag.String("anon", "", "optional anonymized dataset JSON to preload; default starts empty")
+		synth   = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
+		workers = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
+		batch   = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
+		flushMS = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")
+		k       = flag.Int("k", 10, "default Top-K candidate set size")
+		hbar    = flag.Int("landmarks", 50, "landmark count for the structural similarity")
+		bigrams = flag.Int("max-bigrams", 300, "POS-bigram feature cap (fitted on the auxiliary texts)")
+		seed    = flag.Int64("seed", 1, "seed for -synth demo worlds")
+	)
+	flag.Parse()
+
+	var aux *dehealth.Dataset
+	switch {
+	case *auxPath != "":
+		var err error
+		if aux, err = dehealth.LoadDataset(*auxPath); err != nil {
+			log.Fatalf("dehealthd: loading auxiliary data: %v", err)
+		}
+	case *synth > 0:
+		world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: *synth, HBUsers: *synth, Seed: *seed})
+		aux = world.WebMD
+		log.Printf("dehealthd: synthetic auxiliary world: %d users, %d posts", aux.NumUsers(), aux.NumPosts())
+	default:
+		log.Fatal("dehealthd: -aux is required (or -synth for a demo world)")
+	}
+
+	anonDS := &dehealth.Dataset{Name: "observed"}
+	if *anon != "" {
+		var err error
+		if anonDS, err = dehealth.LoadDataset(*anon); err != nil {
+			log.Fatalf("dehealthd: loading anonymized data: %v", err)
+		}
+	}
+
+	opt := dehealth.DefaultOptions()
+	opt.Landmarks = *hbar
+	opt.MaxBigrams = *bigrams
+	opt.Workers = *workers
+	opt.K = *k
+
+	log.Printf("dehealthd: preparing world (aux %d users / %d posts, anon %d users)...",
+		aux.NumUsers(), aux.NumPosts(), anonDS.NumUsers())
+	pw := dehealth.PrepareWorld(anonDS, aux, opt)
+	log.Printf("dehealthd: listening on %s (batch %d, flush %dms, k %d)", *addr, *batch, *flushMS, *k)
+	if err := dehealth.Serve(pw, dehealth.ServeOptions{
+		Addr:          *addr,
+		Workers:       *workers,
+		Batch:         *batch,
+		FlushInterval: msToDuration(*flushMS),
+		K:             *k,
+		Attack:        opt,
+	}); err != nil {
+		log.Fatalf("dehealthd: %v", err)
+	}
+}

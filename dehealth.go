@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"dehealth/internal/anonymize"
 	"dehealth/internal/core"
@@ -56,6 +57,7 @@ import (
 	"dehealth/internal/features"
 	"dehealth/internal/linkage"
 	"dehealth/internal/ml"
+	"dehealth/internal/serve"
 	"dehealth/internal/similarity"
 	"dehealth/internal/synth"
 )
@@ -193,6 +195,31 @@ func DefaultOptions() Options {
 	}
 }
 
+// normalized resolves zero-valued fields to the paper defaults.
+func (o Options) normalized() Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.C1 == 0 && o.C2 == 0 && o.C3 == 0 {
+		o.C1, o.C2, o.C3 = 0.05, 0.05, 0.9
+	}
+	if o.Landmarks <= 0 {
+		o.Landmarks = 50
+	}
+	if o.Sigma == 0 {
+		o.Sigma = 1.0
+	}
+	if o.CosineThreshold == 0 {
+		o.CosineThreshold = 0.98
+	}
+	return o
+}
+
+// simConfig is the similarity configuration the options induce.
+func (o Options) simConfig() similarity.Config {
+	return similarity.Config{C1: o.C1, C2: o.C2, C3: o.C3, Landmarks: o.Landmarks}
+}
+
 // Result is the outcome of a full two-phase attack.
 type Result struct {
 	// Mapping[u] is the auxiliary user that anonymized user u was
@@ -248,10 +275,15 @@ func (o Options) scheme() (core.OpenWorldScheme, error) {
 // weighting, Top-K selection, filtering, refined DA) is recomputed per
 // Attack call. A PreparedWorld is safe for concurrent Attack calls.
 type PreparedWorld struct {
-	// Anon and Aux are the datasets the world was prepared from.
+	// Anon and Aux are the datasets the world was prepared from. Anon grows
+	// as users are ingested.
 	Anon, Aux *Dataset
 
 	anonStore, auxStore *features.Store
+
+	// world serializes growth of the anonymized side (Ingest) against
+	// everything that reads the stores (queries, attacks).
+	world sync.RWMutex
 
 	mu        sync.Mutex
 	pipelines map[similarity.Config]*core.Pipeline
@@ -301,15 +333,7 @@ func (w *PreparedWorld) Attack(opt Options) (*Result, error) {
 // AttackWithTruth is Attack plus ground truth for rank bookkeeping; the
 // truth never influences the attack itself.
 func (w *PreparedWorld) AttackWithTruth(opt Options, trueMapping map[int]int) (*Result, error) {
-	if opt.K <= 0 {
-		opt.K = 10
-	}
-	if opt.C1 == 0 && opt.C2 == 0 && opt.C3 == 0 {
-		opt.C1, opt.C2, opt.C3 = 0.05, 0.05, 0.9
-	}
-	if opt.Landmarks <= 0 {
-		opt.Landmarks = 50
-	}
+	opt = opt.normalized()
 	mkClf, err := opt.classifierFactory()
 	if err != nil {
 		return nil, err
@@ -319,7 +343,9 @@ func (w *PreparedWorld) AttackWithTruth(opt Options, trueMapping map[int]int) (*
 		return nil, err
 	}
 
-	p := w.pipeline(similarity.Config{C1: opt.C1, C2: opt.C2, C3: opt.C3, Landmarks: opt.Landmarks})
+	w.world.RLock()
+	defer w.world.RUnlock()
+	p := w.pipeline(opt.simConfig())
 
 	sel := core.DirectSelection
 	if opt.GraphMatching {
@@ -329,26 +355,109 @@ func (w *PreparedWorld) AttackWithTruth(opt Options, trueMapping map[int]int) (*
 	if opt.Filter {
 		p.Filter(tk, core.FilterConfig{Epsilon: opt.Epsilon, L: opt.L})
 	}
-	sigma := opt.Sigma
-	if sigma == 0 {
-		sigma = 1.0
-	}
-	cosT := opt.CosineThreshold
-	if cosT == 0 {
-		cosT = 0.98
-	}
 	res, err := p.RefinedDA(tk, core.RefineOptions{
 		NewClassifier:   mkClf,
 		Scheme:          scheme,
 		R:               opt.R,
-		Sigma:           sigma,
-		CosineThreshold: cosT,
+		Sigma:           opt.Sigma,
+		CosineThreshold: opt.CosineThreshold,
 		Seed:            opt.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Mapping: res.Mapping, TopK: tk, Pipeline: p}, nil
+}
+
+// Candidate pairs an auxiliary user with its structural similarity score.
+type Candidate = core.Candidate
+
+// IngestPost is one post of a newly observed anonymous user: an existing
+// thread id (or NewThread) and the post text.
+type IngestPost = features.IncomingPost
+
+// NewThread marks an IngestPost as starting a fresh thread.
+const NewThread = features.NewThread
+
+// UserPosts is one newly observed user and their posts, the unit of
+// ingestion.
+type UserPosts = features.UserPosts
+
+// Sizes reports the current world sizes: ingested-side (anonymized) and
+// auxiliary user counts.
+func (w *PreparedWorld) Sizes() (anonUsers, auxUsers int) {
+	w.world.RLock()
+	defer w.world.RUnlock()
+	return w.anonStore.NumUsers(), w.auxStore.NumUsers()
+}
+
+// QueryUser returns anonymized user u's top-k auxiliary candidates in
+// decreasing similarity order under opt's similarity configuration —
+// the single-row serving path: O(|aux|·dim) time, O(k) memory, no
+// similarity-matrix allocation, and results identical to the Top-K phase of
+// a full Attack. k <= 0 uses opt.K (default 10). Safe for concurrent use.
+func (w *PreparedWorld) QueryUser(u, k int, opt Options) ([]Candidate, error) {
+	opt = opt.normalized()
+	if k <= 0 {
+		k = opt.K
+	}
+	w.world.RLock()
+	defer w.world.RUnlock()
+	p := w.pipeline(opt.simConfig())
+	if u < 0 || u >= p.G1.NumNodes() {
+		return nil, fmt.Errorf("dehealth: user %d out of range [0, %d)", u, p.G1.NumNodes())
+	}
+	return p.QueryUser(u, k), nil
+}
+
+// QueryBatch answers one QueryUser per entry of users, amortizing the
+// batch over opt.Workers-bounded parallelism. Results align with users.
+func (w *PreparedWorld) QueryBatch(users []int, k int, opt Options) ([][]Candidate, error) {
+	opt = opt.normalized()
+	if k <= 0 {
+		k = opt.K
+	}
+	w.world.RLock()
+	defer w.world.RUnlock()
+	p := w.pipeline(opt.simConfig())
+	for _, u := range users {
+		if u < 0 || u >= p.G1.NumNodes() {
+			return nil, fmt.Errorf("dehealth: user %d out of range [0, %d)", u, p.G1.NumNodes())
+		}
+	}
+	return p.QueryBatch(users, k, opt.Workers), nil
+}
+
+// Ingest appends newly observed anonymous users to the anonymized side of
+// the world, incrementally: their posts are vectorized with the fitted
+// extractor, the UDA graph gains one node per user plus the co-discussion
+// edges their posts imply, and every cached pipeline's similarity caches
+// are extended in place — nothing is re-extracted or rebuilt. Returns the
+// new user indices, usable with QueryUser immediately. Safe for concurrent
+// use with queries and attacks (ingestion takes the write lock).
+func (w *PreparedWorld) Ingest(batch []UserPosts) ([]int, error) {
+	w.world.Lock()
+	defer w.world.Unlock()
+	ids, err := w.anonStore.Append(batch)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	for _, p := range w.pipelines {
+		p.SyncAppended()
+	}
+	w.mu.Unlock()
+	return ids, nil
+}
+
+// IngestUser ingests a single anonymous account by display name; see
+// Ingest.
+func (w *PreparedWorld) IngestUser(name string, posts []IngestPost) (int, error) {
+	ids, err := w.Ingest([]UserPosts{{User: corpus.User{Name: name, TrueIdentity: -1}, Posts: posts}})
+	if err != nil {
+		return -1, err
+	}
+	return ids[0], nil
 }
 
 // Attack runs the full two-phase De-Health attack: build UDA graphs, select
@@ -398,6 +507,74 @@ type LinkageResult struct {
 	AvatarLinks, NameLinks []linkage.Link
 	// Dossiers are the aggregated, cross-validated per-victim profiles.
 	Dossiers []linkage.Dossier
+}
+
+// ServeOptions configures the dehealthd online query service.
+type ServeOptions struct {
+	// Addr is the listen address (default ":8700"); used by Serve, ignored
+	// by NewServer.
+	Addr string
+	// Workers bounds the per-flush query fan-out (<= 0 uses all CPUs).
+	Workers int
+	// Batch is the micro-batch size: pending requests flush at this count
+	// (default 32).
+	Batch int
+	// FlushInterval flushes a non-empty micro-batch after this deadline
+	// (default 2ms).
+	FlushInterval time.Duration
+	// K is the candidate-set size of queries that omit k (default 10).
+	K int
+	// Attack supplies the similarity configuration queries score under;
+	// zero values take the paper defaults.
+	Attack Options
+}
+
+// Server is the running dehealthd query service (see internal/serve): an
+// HTTP API over a prepared world, admitting queries and ingests through a
+// micro-batching channel that flushes on size or deadline. Within a flush,
+// ingests apply before queries and queries fan out over a worker pool, so
+// the service is race-free by construction.
+type Server = serve.Server
+
+// serveBackend adapts a PreparedWorld to the serving layer.
+type serveBackend struct {
+	w   *PreparedWorld
+	opt Options
+}
+
+func (b serveBackend) Ingest(batch []UserPosts) ([]int, error) { return b.w.Ingest(batch) }
+func (b serveBackend) QueryUser(u, k int) ([]Candidate, error) {
+	return b.w.QueryUser(u, k, b.opt)
+}
+func (b serveBackend) Sizes() (int, int) { return b.w.Sizes() }
+
+// NewServer builds the query service over a prepared world without binding
+// a listener — drive it with (*Server).Serve, ListenAndServe or Handler,
+// and stop it with Close.
+func NewServer(pw *PreparedWorld, opt ServeOptions) *Server {
+	return serve.New(serveBackend{w: pw, opt: opt.Attack}, serve.Config{
+		Workers:       opt.Workers,
+		MaxBatch:      opt.Batch,
+		FlushInterval: opt.FlushInterval,
+		DefaultK:      opt.K,
+	})
+}
+
+// Serve runs the dehealthd query service over a prepared world on
+// opt.Addr, blocking until the server is closed:
+//
+//	POST /v1/query   {"user": 17, "k": 10}
+//	POST /v1/ingest  {"name": "jdoe", "posts": [{"text": "..."}, {"thread": 3, "text": "..."}]}
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// cmd/dehealthd wraps this entry point with flags.
+func Serve(pw *PreparedWorld, opt ServeOptions) error {
+	addr := opt.Addr
+	if addr == "" {
+		addr = ":8700"
+	}
+	return NewServer(pw, opt).ListenAndServe(addr)
 }
 
 // Linkage runs NameLink + AvatarLink against an external directory,

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"dehealth/internal/corpus"
+	"dehealth/internal/features"
+	"dehealth/internal/similarity"
+)
+
+// queryPipeline builds a store-backed pipeline for a split.
+func queryPipeline(split *corpus.Split, landmarks int) *Pipeline {
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	return NewPipelineFromStore(anonS, auxS, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: landmarks})
+}
+
+// assertSameCandidates fails unless the two candidate lists match exactly
+// (set, order and scores).
+func assertSameCandidates(t *testing.T, u int, got, want []Candidate) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("user %d: %d candidates, want %d", u, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("user %d candidate %d: %+v != %+v", u, i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueryUserMatchesTopK proves the single-row bounded-heap path returns
+// exactly the full-matrix direct selection's candidate set and ordering for
+// every user, across closed- and open-world splits and several K, including
+// K > |V2|.
+func TestQueryUserMatchesTopK(t *testing.T) {
+	d := fixedForum(24, 8, 21)
+	splits := map[string]*corpus.Split{
+		"closed": corpus.SplitClosedWorld(d, 0.5, rand.New(rand.NewSource(22))),
+		"open":   corpus.OpenWorldOverlap(d, 0.5, rand.New(rand.NewSource(23))),
+	}
+	for name, split := range splits {
+		t.Run(name, func(t *testing.T) {
+			p := queryPipeline(split, 5)
+			for _, k := range []int{1, 3, 10, split.Aux.NumUsers() + 5} {
+				tk := p.TopK(k, DirectSelection, nil)
+				for u := 0; u < split.Anon.NumUsers(); u++ {
+					assertSameCandidates(t, u, p.QueryUser(u, k), tk.Candidates[u])
+				}
+			}
+		})
+	}
+}
+
+// TestQueryBatchMatchesQueryUser proves the batched fan-out is a pure
+// reordering of independent single queries, at several pool widths.
+func TestQueryBatchMatchesQueryUser(t *testing.T) {
+	split := world(t, 18, 6, 0.5, 31)
+	p := queryPipeline(split, 5)
+	users := make([]int, split.Anon.NumUsers())
+	for i := range users {
+		users[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 64} {
+		got := p.QueryBatch(users, 4, workers)
+		for i, u := range users {
+			assertSameCandidates(t, u, got[i], p.QueryUser(u, 4))
+		}
+	}
+	if got := p.QueryBatch(nil, 4, 8); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestQueryAppendedUserMatchesTopK ingests new anonymized users into the
+// store behind a live pipeline and checks that, after SyncAppended, the
+// incremental query path agrees with a full-matrix TopK over the grown
+// world — i.e. appended users are first-class citizens of the scorer.
+func TestQueryAppendedUserMatchesTopK(t *testing.T) {
+	split := world(t, 20, 8, 0.5, 41)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	p := NewPipelineFromStore(anonS, auxS, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5})
+
+	// Ingest two users: one replying into existing threads, one starting a
+	// fresh thread.
+	n0 := split.Anon.NumUsers()
+	_, err := anonS.Append([]features.UserPosts{
+		{User: corpus.User{Name: "newbie", TrueIdentity: -1}, Posts: []features.IncomingPost{
+			{Thread: 0, Text: split.Aux.Posts[0].Text},
+			{Thread: 1, Text: split.Aux.Posts[1].Text},
+		}},
+		{User: corpus.User{Name: "loner", TrueIdentity: -1}, Posts: []features.IncomingPost{
+			{Thread: features.NewThread, Text: split.Aux.Posts[2].Text},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added := p.SyncAppended(); added != 2 {
+		t.Fatalf("SyncAppended added %d, want 2", added)
+	}
+	if p.G1.NumNodes() != n0+2 {
+		t.Fatalf("anon graph has %d nodes, want %d", p.G1.NumNodes(), n0+2)
+	}
+	tk := p.TopK(5, DirectSelection, nil)
+	for u := 0; u < n0+2; u++ {
+		assertSameCandidates(t, u, p.QueryUser(u, 5), tk.Candidates[u])
+	}
+}
+
+// TestQueryUserAllocBounds verifies the serving guarantee behind QueryUser:
+// per-query heap allocation is O(K) and in particular far below one
+// similarity-matrix row (|V2| float64s), so the hot path cannot silently
+// regress into materializing rows.
+func TestQueryUserAllocBounds(t *testing.T) {
+	split := world(t, 60, 6, 0.5, 51)
+	p := queryPipeline(split, 5)
+	n2 := p.G2.NumNodes()
+	p.QueryUser(0, 10) // warm any lazy state
+
+	const rounds = 50
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		p.QueryUser(i%p.G1.NumNodes(), 10)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := (after.TotalAlloc - before.TotalAlloc) / rounds
+	rowBytes := uint64(n2) * 8
+	if perOp >= rowBytes {
+		t.Fatalf("QueryUser allocates %d B/op, not below one matrix row (%d B)", perOp, rowBytes)
+	}
+}

@@ -15,6 +15,7 @@
 package features
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -30,8 +31,14 @@ type Options struct {
 	Workers int
 }
 
-// workerCount resolves Options.Workers against the job count n.
+// workerCount resolves Options.Workers against the job count n: never more
+// workers than jobs, never fewer than one. n <= 0 (an empty batch) resolves
+// to a single worker explicitly, so degenerate calls cannot spin up a pool
+// of idle goroutines.
 func (o Options) workerCount(n int) int {
+	if n <= 0 {
+		return 1
+	}
 	w := o.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -47,24 +54,35 @@ func (o Options) workerCount(n int) int {
 
 // Store is a fitted extractor plus the dataset's fully materialized feature
 // artifacts: the flat post-feature matrix, per-user post-vector slices, the
-// derived attribute sets, and (lazily) the UDA graph. A Store is immutable
-// after Build and safe for concurrent use.
+// derived attribute sets, and (lazily) the UDA graph. Concurrent reads are
+// safe. The store can grow — Append / AppendUser vectorize newly observed
+// users incrementally, extending the matrix, the per-user views and the UDA
+// graph without rebuilding anything — but growth must be serialized against
+// reads by the caller (the serving layer funnels all mutation through a
+// single batch loop).
 type Store struct {
-	// Dataset is the forum the features were extracted from.
+	// Dataset is the forum the features were extracted from. Append extends
+	// it in place (users, threads and posts keep dense ids).
 	Dataset *corpus.Dataset
 	// Extractor is the fitted feature space shared with the sibling store
 	// (fit the POS-bigram block on the auxiliary texts, as the adversary
 	// would).
 	Extractor *stylometry.Extractor
 
+	opt     Options
 	dim     int
-	flat    []float64     // |posts| × dim feature matrix, post-major
-	rows    [][]float64   // rows[i] = post i's vector, a view into flat
+	flat    []float64     // Build-time |posts| × dim feature matrix, post-major
+	rows    [][]float64   // rows[i] = post i's vector (views into flat or append blocks)
 	perUser [][][]float64 // perUser[u] = u's post vectors in post order
 	attrs   []stylometry.AttrSet
 
 	udaOnce sync.Once
 	uda     *graph.UDA
+
+	// threadUsers[t] lists the distinct users who posted under thread t, in
+	// first-post order — the incremental counterpart of BuildCorrelation's
+	// per-thread participant scan. Built lazily on first Append.
+	threadUsers map[int][]int
 }
 
 // NewExtractor fits a fresh extractor's POS-bigram block on refTexts
@@ -87,6 +105,7 @@ func Build(d *corpus.Dataset, ex *stylometry.Extractor, opt Options) *Store {
 	s := &Store{
 		Dataset:   d,
 		Extractor: ex,
+		opt:       opt,
 		dim:       dim,
 		flat:      make([]float64, n*dim),
 		rows:      make([][]float64, n),
@@ -121,11 +140,16 @@ func BuildPair(anon, aux *corpus.Dataset, maxBigrams int, opt Options) (anonStor
 }
 
 // parallelFor runs f(i) for i in [0, n) over workers goroutines, in chunks
-// to keep scheduling overhead off the hot path. With workers == 1 it
-// degenerates to a plain loop.
+// to keep scheduling overhead off the hot path. With workers <= 1 it
+// degenerates to a plain loop. Degenerate inputs are explicitly safe:
+// n <= 0 runs nothing, and workers > n is clamped to n so no goroutine is
+// ever spawned without work to claim.
 func parallelFor(n, workers int, f func(i int)) {
-	if n == 0 {
+	if n <= 0 {
 		return
+	}
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -167,6 +191,9 @@ func parallelFor(n, workers int, f func(i int)) {
 // NumPosts returns the number of rows in the feature matrix.
 func (s *Store) NumPosts() int { return len(s.rows) }
 
+// NumUsers returns the number of users the store has vectors for.
+func (s *Store) NumUsers() int { return len(s.perUser) }
+
 // Dim returns M, the width of the feature matrix.
 func (s *Store) Dim() int { return s.dim }
 
@@ -194,4 +221,154 @@ func (s *Store) UDA() *graph.UDA {
 		s.uda = graph.BuildUDAFromVectors(s.Dataset, s.perUser, s.attrs)
 	})
 	return s.uda
+}
+
+// NewThread marks an IncomingPost as starting a fresh thread rather than
+// replying to an existing one.
+const NewThread = -1
+
+// IncomingPost is one post of a newly observed user: the thread it was
+// posted under (an existing thread id, or NewThread to start a new thread)
+// and its text.
+type IncomingPost struct {
+	Thread int
+	Text   string
+}
+
+// UserPosts is one newly observed user and their posts, the unit of
+// incremental ingestion. User.ID is assigned by Append; set
+// User.TrueIdentity to -1 unless evaluation ground truth exists.
+type UserPosts struct {
+	User  corpus.User
+	Posts []IncomingPost
+}
+
+// AppendUser appends one newly observed user; see Append.
+func (s *Store) AppendUser(u corpus.User, posts []IncomingPost) (int, error) {
+	ids, err := s.Append([]UserPosts{{User: u, Posts: posts}})
+	if err != nil {
+		return -1, err
+	}
+	return ids[0], nil
+}
+
+// Append ingests a batch of newly observed users incrementally: their posts
+// are appended to the dataset (dense ids preserved), vectorized with the
+// store's fitted extractor over the Build-time worker pool, and folded into
+// the per-user views and attribute sets. If the UDA graph is already
+// materialized it is extended in place — one node per user plus the
+// co-discussion edges implied by the new posts — never rebuilt. The result
+// is exactly the store Build would produce over the grown dataset (the
+// equivalence is covered by the append parity test).
+//
+// Posts may reference existing threads by id or open new ones with
+// NewThread; an out-of-range thread id fails the whole batch before any
+// mutation. Appending an empty batch is a no-op.
+//
+// Append must be serialized against all other store access by the caller;
+// see the Store doc.
+func (s *Store) Append(batch []UserPosts) ([]int, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	d := s.Dataset
+	for bi, up := range batch {
+		for pi, p := range up.Posts {
+			if p.Thread != NewThread && (p.Thread < 0 || p.Thread >= len(d.Threads)) {
+				return nil, fmt.Errorf("features: batch user %d post %d references thread %d of %d", bi, pi, p.Thread, len(d.Threads))
+			}
+		}
+	}
+	s.ensureThreadUsers()
+
+	// Extend the dataset: users, threads and posts keep dense ids.
+	firstPost := len(d.Posts)
+	ids := make([]int, len(batch))
+	for bi, up := range batch {
+		u := len(d.Users)
+		ids[bi] = u
+		nu := up.User
+		nu.ID = u
+		d.Users = append(d.Users, nu)
+		for _, p := range up.Posts {
+			t := p.Thread
+			if t == NewThread {
+				t = len(d.Threads)
+				d.Threads = append(d.Threads, corpus.Thread{ID: t, Board: "ingest", Starter: u})
+			}
+			d.Posts = append(d.Posts, corpus.Post{ID: len(d.Posts), User: u, Thread: t, Text: p.Text})
+		}
+	}
+
+	// Vectorize the new posts into a fresh backing block (the Build-time
+	// matrix is never reallocated, so existing row views stay valid).
+	nNew := len(d.Posts) - firstPost
+	block := make([]float64, nNew*s.dim)
+	rows := make([][]float64, nNew)
+	parallelFor(nNew, s.opt.workerCount(nNew), func(i int) {
+		row := block[i*s.dim : (i+1)*s.dim : (i+1)*s.dim]
+		s.Extractor.ExtractInto(row, d.Posts[firstPost+i].Text)
+		rows[i] = row
+	})
+	s.rows = append(s.rows, rows...)
+
+	// Per-user views and attribute sets.
+	firstUser := ids[0]
+	byUser := make([][][]float64, len(batch))
+	for i := firstPost; i < len(d.Posts); i++ {
+		u := d.Posts[i].User - firstUser
+		byUser[u] = append(byUser[u], s.rows[i])
+	}
+	for bi := range batch {
+		s.perUser = append(s.perUser, byUser[bi])
+		s.attrs = append(s.attrs, stylometry.UserAttributes(byUser[bi]))
+	}
+
+	// Extend the UDA graph in place when it exists (a lazily built one will
+	// see the grown dataset anyway), and keep the thread index current.
+	for bi := range batch {
+		u := ids[bi]
+		if s.uda != nil {
+			s.uda.AppendNode(s.attrs[u], s.perUser[u])
+		}
+	}
+	for i := firstPost; i < len(d.Posts); i++ {
+		s.observePost(d.Posts[i].User, d.Posts[i].Thread)
+	}
+	return ids, nil
+}
+
+// ensureThreadUsers builds the per-thread distinct-participant index from
+// the current dataset on first use.
+func (s *Store) ensureThreadUsers() {
+	if s.threadUsers != nil {
+		return
+	}
+	s.threadUsers = make(map[int][]int, len(s.Dataset.Threads))
+	seen := make(map[[2]int]bool, len(s.Dataset.Posts))
+	for _, p := range s.Dataset.Posts {
+		key := [2]int{p.Thread, p.User}
+		if !seen[key] {
+			seen[key] = true
+			s.threadUsers[p.Thread] = append(s.threadUsers[p.Thread], p.User)
+		}
+	}
+}
+
+// observePost records user u posting under thread t: on u's first post in
+// t, a co-discussion edge to every prior participant is added (weight 1 per
+// shared thread, matching BuildCorrelation) and u joins the participant
+// list.
+func (s *Store) observePost(u, t int) {
+	for _, v := range s.threadUsers[t] {
+		if v == u {
+			return // already a participant; no new edges
+		}
+	}
+	if s.uda != nil {
+		for _, v := range s.threadUsers[t] {
+			s.uda.AddEdge(u, v, 1)
+		}
+	}
+	s.threadUsers[t] = append(s.threadUsers[t], u)
 }

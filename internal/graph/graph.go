@@ -32,9 +32,10 @@ type Edge struct {
 // Edges are accumulated into per-node hash maps while the graph is being
 // built (so AddEdge is O(1) even on dense co-discussion threads) and frozen
 // into adjacency slices sorted by neighbor id on first read. Freezing is
-// transparent: any read re-freezes a dirty graph, and AddEdge on a frozen
-// graph thaws it back into maps. Reads of a frozen graph are safe from many
-// goroutines; building is single-goroutine.
+// transparent: any read freezes a dirty graph, and AddEdge on a frozen
+// graph splices the edge into the sorted adjacency in place, so incremental
+// growth (AddNodes + a few edges per new node) stays cheap. Reads of a
+// frozen graph are safe from many goroutines; mutation is single-goroutine.
 type Graph struct {
 	n        int
 	adj      [][]Edge          // frozen adjacency, sorted by To; valid when building == nil
@@ -59,17 +60,59 @@ func (g *Graph) NumEdges() int {
 	return total / 2
 }
 
+// AddNodes grows the graph by k isolated nodes and returns the index of the
+// first new node. Works on building and frozen graphs alike; a frozen graph
+// stays frozen (the new nodes simply have empty adjacency), so appending
+// nodes never forces a re-freeze of the existing topology.
+func (g *Graph) AddNodes(k int) int {
+	first := g.n
+	if k <= 0 {
+		return first
+	}
+	g.n += k
+	if g.building != nil {
+		g.building = append(g.building, make([]map[int]float64, k)...)
+	} else {
+		g.adj = append(g.adj, make([][]Edge, k)...)
+	}
+	return first
+}
+
 // AddEdge inserts an undirected edge u—v with weight w, or adds w to the
 // weight of the existing edge. Self-loops are ignored.
+//
+// On a frozen graph the edge is spliced into the sorted adjacency in place —
+// O(deg) per endpoint — rather than thawing the whole graph back into
+// accumulator maps. The incremental-ingest workload (a freshly appended node
+// acquiring a handful of co-discussion edges) therefore never pays an O(E)
+// rebuild; bulk construction should still go through a building (unfrozen)
+// graph, where accumulation is O(1) per edge.
 func (g *Graph) AddEdge(u, v int, w float64) {
 	if u == v {
 		return
 	}
 	if g.building == nil {
-		g.thaw()
+		g.bumpFrozen(u, v, w)
+		g.bumpFrozen(v, u, w)
+		return
 	}
 	g.bump(u, v, w)
 	g.bump(v, u, w)
+}
+
+// bumpFrozen adds w to the directed half-edge u→v of a frozen graph,
+// inserting it at its sorted position when absent.
+func (g *Graph) bumpFrozen(u, v int, w float64) {
+	es := g.adj[u]
+	i := sort.Search(len(es), func(k int) bool { return es[k].To >= v })
+	if i < len(es) && es[i].To == v {
+		es[i].Weight += w
+		return
+	}
+	es = append(es, Edge{})
+	copy(es[i+1:], es[i:])
+	es[i] = Edge{To: v, Weight: w}
+	g.adj[u] = es
 }
 
 func (g *Graph) bump(u, v int, w float64) {
@@ -103,24 +146,6 @@ func (g *Graph) Freeze() {
 	}
 	g.adj = adj
 	g.building = nil
-}
-
-// thaw converts the frozen adjacency back into accumulator maps so more
-// edges can be added.
-func (g *Graph) thaw() {
-	b := make([]map[int]float64, g.n)
-	for u, es := range g.adj {
-		if len(es) == 0 {
-			continue
-		}
-		m := make(map[int]float64, len(es))
-		for _, e := range es {
-			m[e.To] = e.Weight
-		}
-		b[u] = m
-	}
-	g.building = b
-	g.adj = nil
 }
 
 // Neighbors returns u's adjacency list, sorted by neighbor id (shared slice;
@@ -490,6 +515,18 @@ func BuildUDA(d *corpus.Dataset, ex *stylometry.Extractor) *UDA {
 		vecs[u] = ex.ExtractAll(ts)
 	}
 	return BuildUDAFromVectors(d, vecs, nil)
+}
+
+// AppendNode grows the UDA graph by one user node carrying the given
+// attribute set and post vectors, returning the new node's index. The
+// caller is responsible for adding the node's co-discussion edges
+// (AddEdge); features.Store.Append does both from its thread-participant
+// index. Not safe to call concurrently with reads.
+func (g *UDA) AppendNode(attrs stylometry.AttrSet, vecs [][]float64) int {
+	u := g.AddNodes(1)
+	g.Attrs = append(g.Attrs, attrs)
+	g.PostVectors = append(g.PostVectors, vecs)
+	return u
 }
 
 // BuildUDAFromVectors constructs the UDA graph of a dataset from precomputed

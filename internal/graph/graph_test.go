@@ -443,3 +443,77 @@ func TestBuildUDAFromVectorsMatchesBuildUDA(t *testing.T) {
 		}
 	}
 }
+
+// TestAddNodesFrozenGrowth grows a frozen graph node by node and checks the
+// spliced edges agree exactly with a from-scratch rebuild.
+func TestAddNodesFrozenGrowth(t *testing.T) {
+	g := path(4)
+	g.Freeze()
+
+	first := g.AddNodes(2)
+	if first != 4 || g.NumNodes() != 6 {
+		t.Fatalf("AddNodes returned %d, nodes %d; want 4, 6", first, g.NumNodes())
+	}
+	if g.Degree(4) != 0 || g.Degree(5) != 0 {
+		t.Fatal("new nodes not isolated")
+	}
+	// Splice edges into the frozen graph, including a weight accumulation.
+	g.AddEdge(4, 1, 1)
+	g.AddEdge(4, 0, 1)
+	g.AddEdge(4, 3, 2)
+	g.AddEdge(4, 1, 1)
+	g.AddEdge(5, 4, 1)
+
+	want := NewGraph(6)
+	for i := 0; i+1 < 4; i++ {
+		want.AddEdge(i, i+1, 1)
+	}
+	want.AddEdge(4, 1, 2)
+	want.AddEdge(4, 0, 1)
+	want.AddEdge(4, 3, 2)
+	want.AddEdge(5, 4, 1)
+	for u := 0; u < 6; u++ {
+		if !reflect.DeepEqual(g.Neighbors(u), want.Neighbors(u)) {
+			t.Fatalf("node %d: adjacency %v, want %v", u, g.Neighbors(u), want.Neighbors(u))
+		}
+	}
+	// Adjacency must stay sorted for EdgeWeight's binary search.
+	if got := g.EdgeWeight(4, 1); got != 2 {
+		t.Fatalf("EdgeWeight(4,1) = %v, want 2", got)
+	}
+	if got := g.BFSDistances(5)[0]; got != 2 {
+		t.Fatalf("dist(5,0) = %d, want 2", got)
+	}
+}
+
+// TestUDAAppendNode checks node appends carry attrs and post vectors and
+// leave prior nodes untouched.
+func TestUDAAppendNode(t *testing.T) {
+	d := &corpus.Dataset{
+		Name:    "t",
+		Users:   []corpus.User{{ID: 0, Name: "a", TrueIdentity: -1}, {ID: 1, Name: "b", TrueIdentity: -1}},
+		Threads: []corpus.Thread{{ID: 0, Board: "x", Starter: 0}},
+		Posts: []corpus.Post{
+			{ID: 0, User: 0, Thread: 0, Text: "first post about sleep"},
+			{ID: 1, User: 1, Thread: 0, Text: "second post about pain"},
+		},
+	}
+	ex := stylometry.New()
+	u := BuildUDA(d, ex)
+	vecs := ex.ExtractAll([]string{"a brand new user writes here"})
+	attrs := stylometry.UserAttributes(vecs)
+	id := u.AppendNode(attrs, vecs)
+	if id != 2 || u.NumNodes() != 3 {
+		t.Fatalf("AppendNode returned %d (nodes %d), want 2 (3)", id, u.NumNodes())
+	}
+	u.AddEdge(id, 0, 1)
+	if u.Degree(id) != 1 || u.EdgeWeight(id, 0) != 1 {
+		t.Fatal("appended node edge missing")
+	}
+	if len(u.PostVectors) != 3 || len(u.Attrs) != 3 {
+		t.Fatal("attrs/post vectors not extended")
+	}
+	if len(u.PostVectors[2]) != 1 {
+		t.Fatalf("appended node has %d post vectors, want 1", len(u.PostVectors[2]))
+	}
+}

@@ -1,0 +1,452 @@
+// Package serve is the online query layer of the De-Health reproduction:
+// an HTTP service that owns a prepared (anonymized, auxiliary) world,
+// answers single-user de-anonymization queries and ingests newly observed
+// anonymous accounts as they appear — the continuous-tracking threat model
+// behind the paper, rather than the offline batch experiments.
+//
+// Concurrency is organized around a micro-batching channel: every request
+// (query or ingest) is enqueued to a single dispatcher goroutine that
+// flushes when the pending batch reaches Config.MaxBatch or when
+// Config.FlushInterval elapses, whichever comes first. Within a flush,
+// ingests are applied first — serially, in arrival order, as one backend
+// call — and then the flush's queries fan out over a bounded worker pool.
+// The dispatcher is therefore the only writer the backend ever sees, and
+// reads never overlap mutation, so the whole service is race-free without
+// locks on the scoring hot path.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dehealth/internal/core"
+	"dehealth/internal/corpus"
+	"dehealth/internal/features"
+)
+
+// corpusUser builds the user record of an ingested anonymous account: no
+// ground-truth identity, just the observed display name.
+func corpusUser(name string) corpus.User {
+	return corpus.User{Name: name, TrueIdentity: -1}
+}
+
+// Backend is the prepared world a Server queries and grows. Implementations
+// need no internal locking against the Server: all calls arrive from the
+// dispatcher's flush, ingestion strictly before queries.
+type Backend interface {
+	// Ingest appends newly observed anonymous users and returns their new
+	// user indices, aligned with the batch.
+	Ingest(batch []features.UserPosts) ([]int, error)
+	// QueryUser returns the top-k auxiliary candidates of anonymized user u.
+	QueryUser(u, k int) ([]core.Candidate, error)
+	// Sizes reports the current world sizes (for /v1/stats).
+	Sizes() (anonUsers, auxUsers int)
+}
+
+// Config tunes the service.
+type Config struct {
+	// Workers bounds the per-flush query fan-out (<= 0 uses GOMAXPROCS).
+	Workers int
+	// MaxBatch flushes the pending micro-batch at this size (default 32).
+	MaxBatch int
+	// FlushInterval flushes a non-empty micro-batch after this deadline
+	// (default 2ms).
+	FlushInterval time.Duration
+	// DefaultK is the candidate-set size of queries that omit k (default 10).
+	DefaultK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	return c
+}
+
+// ErrClosed is returned to requests that arrive after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	AnonUsers     int     `json:"anon_users"`
+	AuxUsers      int     `json:"aux_users"`
+	Queries       int64   `json:"queries"`
+	Ingests       int64   `json:"ingests"`
+	Batches       int64   `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Server is the running query service. Create with New, expose with
+// Handler / Serve / ListenAndServe, stop with Close.
+type Server struct {
+	backend Backend
+	cfg     Config
+
+	reqs chan *request
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+	start     time.Time
+
+	queries int64
+	ingests int64
+	batches int64
+	batched int64
+
+	mu     sync.Mutex
+	closed bool
+	http   *http.Server
+}
+
+type request struct {
+	// Exactly one of query / ingest is set.
+	query  *queryWire
+	ingest []features.UserPosts // single-user batch from /v1/ingest
+	done   chan result          // buffered(1): flush never blocks on it
+}
+
+type result struct {
+	candidates []core.Candidate
+	user       int
+	err        error
+}
+
+// New builds a Server over the backend and starts its dispatcher.
+func New(b Backend, cfg Config) *Server {
+	s := &Server{
+		backend: b,
+		cfg:     cfg.withDefaults(),
+		reqs:    make(chan *request),
+		quit:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// dispatch is the single consumer of the request channel: it accumulates a
+// micro-batch and flushes on size or deadline.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	var batch []*request
+	timer := time.NewTimer(s.cfg.FlushInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	flush := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		s.flush(batch)
+		batch = nil
+	}
+	for {
+		select {
+		case r := <-s.reqs:
+			if len(batch) == 0 {
+				timer.Reset(s.cfg.FlushInterval)
+			}
+			batch = append(batch, r)
+			if len(batch) >= s.cfg.MaxBatch {
+				flush()
+			}
+		case <-timer.C:
+			s.flush(batch)
+			batch = nil
+		case <-s.quit:
+			flush()
+			return
+		}
+	}
+}
+
+// flush applies one micro-batch: all ingests first (one backend call, in
+// arrival order), then the queries over the worker pool.
+func (s *Server) flush(batch []*request) {
+	if len(batch) == 0 {
+		return
+	}
+	atomic.AddInt64(&s.batches, 1)
+	atomic.AddInt64(&s.batched, int64(len(batch)))
+
+	var ingests []*request
+	var queries []*request
+	var users []features.UserPosts
+	for _, r := range batch {
+		if r.ingest != nil {
+			ingests = append(ingests, r)
+			users = append(users, r.ingest...)
+		} else {
+			queries = append(queries, r)
+		}
+	}
+	if len(ingests) > 0 {
+		ids, err := s.backend.Ingest(users)
+		if err == nil {
+			at := 0
+			for _, r := range ingests {
+				r.done <- result{user: ids[at]}
+				at += len(r.ingest)
+			}
+		} else {
+			// The combined batch was rejected (stores validate before any
+			// mutation). Re-apply each request on its own so one client's
+			// bad payload cannot fail its batch peers, and each waiter gets
+			// an error about its own request.
+			for _, r := range ingests {
+				ids, err := s.backend.Ingest(r.ingest)
+				if err != nil {
+					r.done <- result{err: err}
+				} else {
+					r.done <- result{user: ids[0]}
+				}
+			}
+		}
+		atomic.AddInt64(&s.ingests, int64(len(ingests)))
+	}
+	if len(queries) == 0 {
+		return
+	}
+	workers := s.cfg.Workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan *request)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				k := r.query.K
+				if k <= 0 {
+					k = s.cfg.DefaultK
+				}
+				cands, err := s.backend.QueryUser(r.query.User, k)
+				r.done <- result{candidates: cands, user: r.query.User, err: err}
+			}
+		}()
+	}
+	for _, r := range queries {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	atomic.AddInt64(&s.queries, int64(len(queries)))
+}
+
+// submit enqueues a request and waits for its result or cancellation.
+func (s *Server) submit(r *request, cancel <-chan struct{}) (result, error) {
+	select {
+	case s.reqs <- r:
+	case <-s.quit:
+		return result{}, ErrClosed
+	case <-cancel:
+		return result{}, errors.New("serve: request canceled")
+	}
+	select {
+	case res := <-r.done:
+		return res, nil
+	case <-cancel:
+		return result{}, errors.New("serve: request canceled")
+	}
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	anon, aux := s.backend.Sizes()
+	batches := atomic.LoadInt64(&s.batches)
+	mean := 0.0
+	if batches > 0 {
+		mean = float64(atomic.LoadInt64(&s.batched)) / float64(batches)
+	}
+	return Stats{
+		AnonUsers:     anon,
+		AuxUsers:      aux,
+		Queries:       atomic.LoadInt64(&s.queries),
+		Ingests:       atomic.LoadInt64(&s.ingests),
+		Batches:       batches,
+		MeanBatchSize: mean,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+// Close stops the dispatcher (flushing any pending batch) and shuts down
+// the HTTP listener if one was started. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+	})
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closed = true
+	srv := s.http
+	s.http = nil
+	s.mu.Unlock()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// wire formats
+
+type queryWire struct {
+	User int `json:"user"`
+	K    int `json:"k,omitempty"`
+}
+
+type candidateWire struct {
+	User  int     `json:"user"`
+	Score float64 `json:"score"`
+}
+
+type queryReplyWire struct {
+	User       int             `json:"user"`
+	Candidates []candidateWire `json:"candidates"`
+}
+
+type ingestPostWire struct {
+	// Thread is the existing thread replied to; omitted or null means the
+	// post starts a new thread.
+	Thread *int   `json:"thread"`
+	Text   string `json:"text"`
+}
+
+type ingestWire struct {
+	Name  string           `json:"name"`
+	Posts []ingestPostWire `json:"posts"`
+}
+
+type ingestReplyWire struct {
+	User int `json:"user"`
+}
+
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/query   {"user": 17, "k": 10}            -> {"user": 17, "candidates": [{"user": 3, "score": 1.87}, ...]}
+//	POST /v1/ingest  {"name": "...", "posts": [...]}  -> {"user": 42}
+//	GET  /v1/stats                                    -> Stats
+//	GET  /healthz                                     -> ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q queryWire
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorWire{Error: "invalid query body: " + err.Error()})
+		return
+	}
+	res, err := s.submit(&request{query: &q, done: make(chan result, 1)}, r.Context().Done())
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorWire{Error: err.Error()})
+		return
+	}
+	if res.err != nil {
+		writeJSON(w, http.StatusBadRequest, errorWire{Error: res.err.Error()})
+		return
+	}
+	reply := queryReplyWire{User: res.user, Candidates: make([]candidateWire, len(res.candidates))}
+	for i, c := range res.candidates {
+		reply.Candidates[i] = candidateWire{User: c.User, Score: c.Score}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var in ingestWire
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorWire{Error: "invalid ingest body: " + err.Error()})
+		return
+	}
+	up := features.UserPosts{User: corpusUser(in.Name), Posts: make([]features.IncomingPost, len(in.Posts))}
+	for i, p := range in.Posts {
+		t := features.NewThread
+		if p.Thread != nil {
+			t = *p.Thread
+		}
+		up.Posts[i] = features.IncomingPost{Thread: t, Text: p.Text}
+	}
+	res, err := s.submit(&request{ingest: []features.UserPosts{up}, done: make(chan result, 1)}, r.Context().Done())
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorWire{Error: err.Error()})
+		return
+	}
+	if res.err != nil {
+		writeJSON(w, http.StatusBadRequest, errorWire{Error: res.err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestReplyWire{User: res.user})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Serve accepts connections on l until Close. Calling Serve on an
+// already-closed server closes l and returns ErrClosed, so a Close racing
+// ahead of a `go srv.Serve(l)` cannot leak the listener.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.http = srv
+	s.mu.Unlock()
+	err := srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}

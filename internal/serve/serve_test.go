@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dehealth/internal/core"
+	"dehealth/internal/corpus"
+	"dehealth/internal/features"
+	"dehealth/internal/similarity"
+	"dehealth/internal/synth"
+)
+
+// testBackend is a minimal prepared world: a store pair, one pipeline, and
+// the read/write discipline the public API applies (the dispatcher already
+// serializes ingests against queries; the lock only guards direct test
+// access).
+type testBackend struct {
+	mu   sync.RWMutex
+	anon *features.Store
+	p    *core.Pipeline
+}
+
+func newTestBackend(t *testing.T, users int, seed int64) *testBackend {
+	t.Helper()
+	u := synth.NewUniverse(users, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	members := synth.Members(u, users, rng)
+	cfg := synth.WebMDLike(users, seed+2)
+	cfg.FixedPosts = 6
+	d := synth.Generate(cfg, u, members)
+	split := corpus.SplitClosedWorld(d, 0.5, rand.New(rand.NewSource(seed+3)))
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	return &testBackend{
+		anon: anonS,
+		p:    core.NewPipelineFromStore(anonS, auxS, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}),
+	}
+}
+
+func (b *testBackend) Ingest(batch []features.UserPosts) ([]int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ids, err := b.anon.Append(batch)
+	if err != nil {
+		return nil, err
+	}
+	b.p.SyncAppended()
+	return ids, nil
+}
+
+func (b *testBackend) QueryUser(u, k int) ([]core.Candidate, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if u < 0 || u >= b.p.G1.NumNodes() {
+		return nil, fmt.Errorf("user %d out of range", u)
+	}
+	return b.p.QueryUser(u, k), nil
+}
+
+func (b *testBackend) Sizes() (int, int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.p.G1.NumNodes(), b.p.G2.NumNodes()
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestHTTPRoundTrip drives the full wire path: query an existing user,
+// ingest a new one (posts with and without thread ids), query the ingested
+// user, and read back stats.
+func TestHTTPRoundTrip(t *testing.T) {
+	b := newTestBackend(t, 16, 61)
+	s := New(b, Config{MaxBatch: 4, FlushInterval: time.Millisecond, DefaultK: 5})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	anon0, aux := b.Sizes()
+
+	resp := postJSON(t, ts.URL+"/v1/query", map[string]int{"user": 2, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	q := decode[queryReplyWire](t, resp)
+	if q.User != 2 || len(q.Candidates) != 3 {
+		t.Fatalf("query reply %+v, want user 2 with 3 candidates", q)
+	}
+	want, _ := b.QueryUser(2, 3)
+	for i, c := range q.Candidates {
+		if c.User != want[i].User || c.Score != want[i].Score {
+			t.Fatalf("candidate %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+	for i := 1; i < len(q.Candidates); i++ {
+		if q.Candidates[i].Score > q.Candidates[i-1].Score {
+			t.Fatal("candidates not sorted by decreasing score")
+		}
+	}
+
+	thread := 0
+	resp = postJSON(t, ts.URL+"/v1/ingest", ingestWire{
+		Name: "newly-observed",
+		Posts: []ingestPostWire{
+			{Thread: &thread, Text: "my physical therapist recommended daily stretching"},
+			{Text: "has anyone else had trouble sleeping after surgery?"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	in := decode[ingestReplyWire](t, resp)
+	if in.User != anon0 {
+		t.Fatalf("ingested user id %d, want %d", in.User, anon0)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/query", map[string]int{"user": in.User})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query of ingested user: status %d", resp.StatusCode)
+	}
+	q = decode[queryReplyWire](t, resp)
+	if len(q.Candidates) != 5 { // DefaultK
+		t.Fatalf("ingested user got %d candidates, want 5", len(q.Candidates))
+	}
+
+	st, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[Stats](t, st)
+	if stats.AnonUsers != anon0+1 || stats.AuxUsers != aux {
+		t.Fatalf("stats sizes %+v, want anon %d aux %d", stats, anon0+1, aux)
+	}
+	if stats.Queries != 2 || stats.Ingests != 1 || stats.Batches == 0 {
+		t.Fatalf("stats counters %+v", stats)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+}
+
+// TestHTTPErrors covers the failure surface: malformed bodies, unknown
+// users, bad thread references, wrong methods, and a closed server.
+func TestHTTPErrors(t *testing.T) {
+	b := newTestBackend(t, 10, 71)
+	s := New(b, Config{FlushInterval: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed query: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/query", map[string]int{"user": 10_000})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown user: status %d, want 400", resp.StatusCode)
+	}
+
+	bad := 9999
+	resp = postJSON(t, ts.URL+"/v1/ingest", ingestWire{Name: "x", Posts: []ingestPostWire{{Thread: &bad, Text: "hi"}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad thread: status %d, want 400", resp.StatusCode)
+	}
+
+	get, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET query: status %d, want 405", get.StatusCode)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.URL+"/v1/query", map[string]int{"user": 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed server: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestMicroBatching checks both flush triggers: a lone request flushes on
+// the deadline despite a huge MaxBatch, and a burst flushes by size into
+// far fewer batches than requests.
+func TestMicroBatching(t *testing.T) {
+	b := newTestBackend(t, 12, 81)
+	s := New(b, Config{MaxBatch: 1024, FlushInterval: 5 * time.Millisecond, DefaultK: 3})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/query", map[string]int{"user": 0})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline-flushed query: status %d", resp.StatusCode)
+	}
+
+	const burst = 48
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+				bytes.NewReader([]byte(fmt.Sprintf(`{"user": %d}`, i%12))))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("burst query %d: %v", i, err)
+		}
+	}
+	stats := s.Stats()
+	if stats.Queries != burst+1 {
+		t.Fatalf("queries = %d, want %d", stats.Queries, burst+1)
+	}
+	if stats.MeanBatchSize <= 1 && stats.Batches >= burst {
+		t.Logf("warning: burst did not batch (batches=%d mean=%.1f)", stats.Batches, stats.MeanBatchSize)
+	}
+}
+
+// TestIngestBatchFailureIsolation forces a valid and an invalid ingest
+// into the same micro-batch (MaxBatch 2, long deadline) and checks the
+// valid client succeeds while only the bad request is rejected.
+func TestIngestBatchFailureIsolation(t *testing.T) {
+	b := newTestBackend(t, 12, 91)
+	anon0, _ := b.Sizes()
+	s := New(b, Config{MaxBatch: 2, FlushInterval: 10 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type reply struct {
+		status int
+		body   string
+	}
+	results := make(chan reply, 2)
+	send := func(w ingestWire) {
+		buf, _ := json.Marshal(w)
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Error(err)
+			results <- reply{}
+			return
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		_, _ = body.ReadFrom(resp.Body)
+		results <- reply{status: resp.StatusCode, body: body.String()}
+	}
+	bad := 9999
+	go send(ingestWire{Name: "good", Posts: []ingestPostWire{{Text: "valid post about recovery"}}})
+	// Give the first request time to enter the pending batch; the second
+	// fills the batch and triggers the size flush. (If scheduling reorders
+	// them, the test still checks one success + one failure.)
+	time.Sleep(50 * time.Millisecond)
+	go send(ingestWire{Name: "bad", Posts: []ingestPostWire{{Thread: &bad, Text: "x"}}})
+
+	var ok, failed int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		switch r.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusBadRequest:
+			failed++
+		default:
+			t.Fatalf("unexpected status %d (%s)", r.status, r.body)
+		}
+	}
+	if ok != 1 || failed != 1 {
+		t.Fatalf("got %d ok / %d failed, want 1 / 1: a bad batch peer must not fail valid ingests", ok, failed)
+	}
+	if anon1, _ := b.Sizes(); anon1 != anon0+1 {
+		t.Fatalf("anon users = %d, want %d (exactly the valid ingest applied)", anon1, anon0+1)
+	}
+}
+
+// TestServeAfterClose pins the Close/Serve ordering contract: Serve on a
+// closed server must close the listener and return ErrClosed instead of
+// blocking forever.
+func TestServeAfterClose(t *testing.T) {
+	b := newTestBackend(t, 10, 95)
+	s := New(b, Config{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(l); err != ErrClosed {
+		t.Fatalf("Serve after Close = %v, want ErrClosed", err)
+	}
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("listener left open after Serve on closed server")
+	}
+}

@@ -38,7 +38,15 @@ func DefaultConfig() Config {
 type Scorer struct {
 	cfg    Config
 	g1, g2 *graph.UDA
+	c      *scorerCaches
+}
 
+// scorerCaches holds the precomputed per-node vectors. The struct is shared
+// by pointer across every scorer derived with Reweighted at the same
+// landmark count, so extending it for appended nodes (SyncAnon) updates the
+// whole family of scorers at once.
+type scorerCaches struct {
+	landmarks1     []int // anon-side landmark nodes, pinned at construction
 	ncs1, ncs2     [][]float64
 	close1, close2 [][]float64 // hop-closeness vectors, ħ dims
 	wcl1, wcl2     [][]float64 // weighted-closeness vectors, ħ dims
@@ -46,18 +54,21 @@ type Scorer struct {
 
 // NewScorer builds a Scorer over the two UDA graphs.
 func NewScorer(g1, g2 *graph.UDA, cfg Config) *Scorer {
-	s := &Scorer{cfg: cfg, g1: g1, g2: g2}
-	s.ncs1 = cacheNCS(g1)
-	s.ncs2 = cacheNCS(g2)
-	s.close1, s.wcl1 = landmarkCloseness(g1, cfg.Landmarks)
-	s.close2, s.wcl2 = landmarkCloseness(g2, cfg.Landmarks)
-	return s
+	c := &scorerCaches{
+		landmarks1: g1.TopDegreeNodes(cfg.Landmarks),
+		ncs1:       cacheNCS(g1),
+		ncs2:       cacheNCS(g2),
+	}
+	c.close1, c.wcl1 = landmarkCloseness(g1, c.landmarks1)
+	c.close2, c.wcl2 = landmarkCloseness(g2, g2.TopDegreeNodes(cfg.Landmarks))
+	return &Scorer{cfg: cfg, g1: g1, g2: g2, c: c}
 }
 
 // Reweighted returns a scorer over the same graphs under a new Config. When
 // the landmark count is unchanged the precomputed NCS and landmark-closeness
-// caches are shared (the returned scorer only re-weights the three
-// components at Score time); otherwise the landmark vectors are recomputed.
+// caches are shared by pointer (the returned scorer only re-weights the
+// three components at Score time); otherwise the landmark vectors are
+// recomputed.
 func (s *Scorer) Reweighted(cfg Config) *Scorer {
 	if cfg.Landmarks == s.cfg.Landmarks {
 		t := *s
@@ -65,6 +76,30 @@ func (s *Scorer) Reweighted(cfg Config) *Scorer {
 		return &t
 	}
 	return NewScorer(s.g1, s.g2, cfg)
+}
+
+// SyncAnon extends the anonymized-side caches over nodes appended to G1
+// after the scorer was built (features.Store.Append): each new node gets
+// its NCS vector and its closeness to the landmark set pinned at
+// construction time, via one BFS and one Dijkstra from the node (the graph
+// is undirected, so node→landmark distances equal landmark→node ones). It
+// returns the number of nodes added. Existing nodes' cached vectors are
+// deliberately not recomputed — new edges can shorten old nodes' landmark
+// distances; rebuild the scorer to refresh them, and to re-pin landmarks.
+// Every scorer sharing these caches through Reweighted observes the
+// extension. Not safe to run concurrently with Score; the serving layer
+// serializes ingestion against queries.
+func (s *Scorer) SyncAnon() int {
+	c := s.c
+	n, added := s.g1.NumNodes(), 0
+	for u := len(c.ncs1); u < n; u++ {
+		c.ncs1 = append(c.ncs1, s.g1.NCS(u))
+		hop, w := nodeLandmarkCloseness(s.g1, u, c.landmarks1)
+		c.close1 = append(c.close1, hop)
+		c.wcl1 = append(c.wcl1, w)
+		added++
+	}
+	return added
 }
 
 func cacheNCS(g *graph.UDA) [][]float64 {
@@ -75,13 +110,12 @@ func cacheNCS(g *graph.UDA) [][]float64 {
 	return out
 }
 
-// landmarkCloseness selects the ħ top-degree users as landmarks (sorted by
-// decreasing degree, as §III-B prescribes) and computes, for every node, the
-// closeness 1/(1+h) to each landmark — 0 when unreachable — for both hop
-// distances and weighted distances.
-func landmarkCloseness(g *graph.UDA, hbar int) (hop, weighted [][]float64) {
+// landmarkCloseness computes, for every node, the closeness 1/(1+h) to each
+// landmark — 0 when unreachable — for both hop distances and weighted
+// distances. Landmarks are the ħ top-degree users (sorted by decreasing
+// degree, as §III-B prescribes), selected by the caller.
+func landmarkCloseness(g *graph.UDA, landmarks []int) (hop, weighted [][]float64) {
 	n := g.NumNodes()
-	landmarks := g.TopDegreeNodes(hbar)
 	hop = make([][]float64, n)
 	weighted = make([][]float64, n)
 	for u := 0; u < n; u++ {
@@ -98,6 +132,25 @@ func landmarkCloseness(g *graph.UDA, hbar int) (hop, weighted [][]float64) {
 			if !math.IsInf(wd[u], 1) {
 				weighted[u][li] = 1 / (1 + wd[u])
 			}
+		}
+	}
+	return hop, weighted
+}
+
+// nodeLandmarkCloseness is the single-node counterpart of
+// landmarkCloseness, used when extending the caches incrementally: one BFS
+// and one Dijkstra from u yield its distances to every landmark.
+func nodeLandmarkCloseness(g *graph.UDA, u int, landmarks []int) (hop, weighted []float64) {
+	hd := g.BFSDistances(u)
+	wd := g.WeightedDistances(u)
+	hop = make([]float64, len(landmarks))
+	weighted = make([]float64, len(landmarks))
+	for li, l := range landmarks {
+		if hd[l] >= 0 {
+			hop[li] = 1 / (1 + float64(hd[l]))
+		}
+		if !math.IsInf(wd[l], 1) {
+			weighted[li] = 1 / (1 + wd[l])
 		}
 	}
 	return hop, weighted
@@ -147,13 +200,13 @@ func ratioSim(a, b float64) float64 {
 func (s *Scorer) DegreeSim(u, v int) float64 {
 	d := ratioSim(float64(s.g1.Degree(u)), float64(s.g2.Degree(v)))
 	wd := ratioSim(s.g1.WeightedDegree(u), s.g2.WeightedDegree(v))
-	return d + wd + Cosine(s.ncs1[u], s.ncs2[v])
+	return d + wd + Cosine(s.c.ncs1[u], s.c.ncs2[v])
 }
 
 // DistanceSim computes s^s_uv = cos(H_u(S1), H_v(S2)) + cos(WH_u(S1),
 // WH_v(S2)) over landmark closeness vectors.
 func (s *Scorer) DistanceSim(u, v int) float64 {
-	return Cosine(s.close1[u], s.close2[v]) + Cosine(s.wcl1[u], s.wcl2[v])
+	return Cosine(s.c.close1[u], s.c.close2[v]) + Cosine(s.c.wcl1[u], s.c.wcl2[v])
 }
 
 // AttrSim computes s^a_uv = Jaccard(A(u), A(v)) + WeightedJaccard(WA(u),
@@ -275,9 +328,9 @@ func (s *Scorer) StructuralVector(side, u int) []float64 {
 		cl  []float64
 	)
 	if side == 2 {
-		g, ncs, cl = s.g2, s.ncs2[u], s.close2[u]
+		g, ncs, cl = s.g2, s.c.ncs2[u], s.c.close2[u]
 	} else {
-		g, ncs, cl = s.g1, s.ncs1[u], s.close1[u]
+		g, ncs, cl = s.g1, s.c.ncs1[u], s.c.close1[u]
 	}
 	var maxN, sumN float64
 	for _, x := range ncs {

@@ -180,3 +180,40 @@ func TestLandmarkClosenessDisconnected(t *testing.T) {
 		}
 	}
 }
+
+// TestSyncAnonMatchesRebuild appends a node to the anonymized graph and
+// checks SyncAnon produces the same scores a scorer built from scratch
+// would, given the same landmark set (node-side BFS must agree with
+// landmark-side BFS on an undirected graph).
+func TestSyncAnonMatchesRebuild(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2})
+
+	ex := stylometry.New()
+	vecs := ex.ExtractAll([]string{"i definately have a terrible headache again"})
+	u := g1.AppendNode(stylometry.UserAttributes(vecs), vecs)
+	// Attach to the two existing landmarks (nodes 0 and 2) so a rebuilt
+	// scorer pins the same landmark set and the comparison stays exact.
+	g1.AddEdge(u, 0, 1)
+	g1.AddEdge(u, 2, 1)
+	if added := s.SyncAnon(); added != 1 {
+		t.Fatalf("SyncAnon added %d, want 1", added)
+	}
+	if extra := s.SyncAnon(); extra != 0 {
+		t.Fatalf("second SyncAnon added %d, want 0", extra)
+	}
+
+	// A derived scorer sharing the caches must see the extension too.
+	rw := s.Reweighted(Config{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 2})
+	fresh := NewScorer(g1, g2, Config{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 2})
+	for v := 0; v < g2.NumNodes(); v++ {
+		// The appended node leaves the top-2 degree ranking unchanged, so
+		// the fresh scorer pins the same landmarks and must agree exactly.
+		if got, want := rw.Score(u, v), fresh.Score(u, v); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Score(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		if got, want := s.DistanceSim(u, v), fresh.DistanceSim(u, v); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("DistanceSim(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package dehealth
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// servingWorld prepares a small closed-world split for online tests.
+func servingWorld(t *testing.T, users int, seed int64) *PreparedWorld {
+	t.Helper()
+	w := GenerateWorld(WorldConfig{WebMDUsers: users, HBUsers: users, Seed: seed})
+	split := SplitClosedWorld(w.WebMD, 0.5, seed+1)
+	opt := DefaultOptions()
+	opt.MaxBigrams = 50
+	return PrepareWorld(split.Anon, split.Aux, opt)
+}
+
+// TestQueryUserMatchesAttackTopK proves the public serving path returns
+// exactly the Top-K phase's candidate sets.
+func TestQueryUserMatchesAttackTopK(t *testing.T) {
+	pw := servingWorld(t, 30, 901)
+	opt := DefaultOptions()
+	opt.K = 5
+	opt.Landmarks = 5
+	opt.Classifier = KNN
+	res, err := pw.Attack(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, _ := pw.Sizes()
+	users := make([]int, anon)
+	for u := range users {
+		users[u] = u
+	}
+	batch, err := pw.QueryBatch(users, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < anon; u++ {
+		single, err := pw.QueryUser(u, 5, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.TopK.Candidates[u]
+		if len(single) != len(want) || len(batch[u]) != len(want) {
+			t.Fatalf("user %d: lengths %d/%d, want %d", u, len(single), len(batch[u]), len(want))
+		}
+		for i := range want {
+			if single[i] != want[i] || batch[u][i] != want[i] {
+				t.Fatalf("user %d candidate %d: query %+v batch %+v, want %+v", u, i, single[i], batch[u][i], want[i])
+			}
+		}
+	}
+	if _, err := pw.QueryUser(-1, 5, opt); err == nil {
+		t.Fatal("negative user accepted")
+	}
+	if _, err := pw.QueryUser(anon, 5, opt); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+}
+
+// TestIngestThenQuery grows the prepared world and checks ingested users
+// are immediately queryable, with the grown sizes reported.
+func TestIngestThenQuery(t *testing.T) {
+	pw := servingWorld(t, 24, 911)
+	opt := DefaultOptions()
+	opt.Landmarks = 5
+	anon0, aux := pw.Sizes()
+
+	// Warm a pipeline first so ingestion exercises the incremental sync.
+	if _, err := pw.QueryUser(0, 3, opt); err != nil {
+		t.Fatal(err)
+	}
+	id, err := pw.IngestUser("fresh-account", []IngestPost{
+		{Thread: 0, Text: "my migraines got worse after the new prescription"},
+		{Thread: NewThread, Text: "does anyone know a good specialist in the area?"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != anon0 {
+		t.Fatalf("ingested id %d, want %d", id, anon0)
+	}
+	if a, x := pw.Sizes(); a != anon0+1 || x != aux {
+		t.Fatalf("Sizes() = (%d, %d), want (%d, %d)", a, x, anon0+1, aux)
+	}
+	cands, err := pw.QueryUser(id, 7, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 7 {
+		t.Fatalf("ingested user got %d candidates, want 7", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Fatal("candidates not sorted")
+		}
+	}
+}
+
+// TestServeConcurrentQueryIngest hammers a live httptest server with
+// concurrent /v1/query and /v1/ingest traffic — the acceptance bar for the
+// serving subsystem under -race.
+func TestServeConcurrentQueryIngest(t *testing.T) {
+	pw := servingWorld(t, 20, 921)
+	opt := DefaultOptions()
+	opt.Landmarks = 5
+	srv := NewServer(pw, ServeOptions{Workers: 4, Batch: 8, FlushInterval: time.Millisecond, K: 5, Attack: opt})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	anon0, _ := pw.Sizes()
+	const (
+		queriers  = 6
+		ingesters = 3
+		perWorker = 10
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, (queriers+ingesters)*perWorker)
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := fmt.Sprintf(`{"user": %d, "k": 4}`, (g*perWorker+i)%anon0)
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("query status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := fmt.Sprintf(`{"name": "acct-%d-%d", "posts": [{"thread": %d, "text": "the treatment helped my symptoms a lot"}]}`, g, i, i%3)
+				resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var reply struct {
+					User int `json:"user"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+					errCh <- err
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("ingest status %d", resp.StatusCode)
+					continue
+				}
+				// Every ingested account must be queryable right away.
+				qb := fmt.Sprintf(`{"user": %d}`, reply.User)
+				qr, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(qb)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if qr.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("query of ingested %d: status %d", reply.User, qr.StatusCode)
+				}
+				qr.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	anon1, _ := pw.Sizes()
+	if want := anon0 + ingesters*perWorker; anon1 != want {
+		t.Fatalf("anon users after ingest storm: %d, want %d", anon1, want)
+	}
+}
