@@ -339,6 +339,69 @@ func BenchmarkQueryUser(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryUserSharded measures the partition-parallel single-row
+// query path against the single-shard engine it generalizes (the PR 2
+// serving baseline): the same prepared stores drive a pipeline with one
+// shard and one with a shard per CPU, and the per-mode throughput plus the
+// sharded/unsharded speedup land in BENCH_sharding.json. On a multi-core
+// runner the fan-out/merge path should clear 1.5x over shards-1; on a
+// single-core machine the two modes are equivalent work (gomaxprocs is
+// recorded so the artifact is interpretable either way).
+func BenchmarkQueryUserSharded(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 600, HBUsers: 600, Seed: 97})
+	split := SplitClosedWorld(w.WebMD, 0.5, 98)
+	opt := DefaultOptions()
+	opt.MaxBigrams = 100
+	opt.Landmarks = 10
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, opt.MaxBigrams, features.Options{})
+	cfg := opt.normalized().simConfig()
+
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	} else {
+		counts = append(counts, 2) // keep the fan-out/merge path exercised
+	}
+	qps := map[string]float64{}
+	for _, n := range counts {
+		p := core.NewShardedPipelineFromStore(anonS, auxS, cfg, n)
+		anonN := p.G1.NumNodes()
+		name := fmt.Sprintf("shards-%d", n)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				p.QueryUser(i%anonN, 10)
+			}
+			elapsed := time.Since(start)
+			rate := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(rate, "qps")
+			if prev, ok := qps[name]; !ok || rate > prev {
+				qps[name] = rate
+			}
+		})
+	}
+
+	speedup := 0.0
+	if base := qps["shards-1"]; base > 0 {
+		speedup = qps[fmt.Sprintf("shards-%d", counts[len(counts)-1])] / base
+	}
+	summary := map[string]any{
+		"benchmark":  "sharding",
+		"generated":  time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"world":      map[string]int{"anon_users": split.Anon.NumUsers(), "aux_users": split.Aux.NumUsers()},
+		"qps":        qps,
+		"speedup":    speedup,
+		"baseline":   "shards-1 is the PR 2 single-shard bounded-heap query engine",
+	}
+	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_sharding.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_sharding.json: %v", err)
+		}
+	}
+}
+
 // BenchmarkServeThroughput measures end-to-end HTTP query throughput of
 // the dehealthd service, micro-batched versus unbatched, with concurrent
 // clients. It writes a BENCH_serving.json summary next to the package so

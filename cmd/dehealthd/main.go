@@ -9,7 +9,7 @@
 //	dehealthd -aux aux.json                          # start with an empty anonymized side
 //	dehealthd -aux aux.json -anon anon.json          # preload known anonymized accounts
 //	dehealthd -synth 300                             # demo mode: synthetic auxiliary world
-//	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2
+//	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2 -shards 8
 //
 // API:
 //
@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"log"
+	"runtime"
 	"time"
 
 	"dehealth"
@@ -36,6 +37,7 @@ func main() {
 		anon    = flag.String("anon", "", "optional anonymized dataset JSON to preload; default starts empty")
 		synth   = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
 		workers = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
+		shards  = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
 		batch   = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
 		flushMS = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")
 		k       = flag.Int("k", 10, "default Top-K candidate set size")
@@ -73,9 +75,13 @@ func main() {
 	opt.MaxBigrams = *bigrams
 	opt.Workers = *workers
 	opt.K = *k
+	opt.Shards = *shards
+	if opt.Shards <= 0 {
+		opt.Shards = runtime.NumCPU()
+	}
 
-	log.Printf("dehealthd: preparing world (aux %d users / %d posts, anon %d users)...",
-		aux.NumUsers(), aux.NumPosts(), anonDS.NumUsers())
+	log.Printf("dehealthd: preparing world (aux %d users / %d posts, anon %d users, %d shards)...",
+		aux.NumUsers(), aux.NumPosts(), anonDS.NumUsers(), opt.Shards)
 	pw := dehealth.PrepareWorld(anonDS, aux, opt)
 	log.Printf("dehealthd: listening on %s (batch %d, flush %dms, k %d)", *addr, *batch, *flushMS, *k)
 	if err := dehealth.Serve(pw, dehealth.ServeOptions{

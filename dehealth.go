@@ -58,6 +58,7 @@ import (
 	"dehealth/internal/linkage"
 	"dehealth/internal/ml"
 	"dehealth/internal/serve"
+	"dehealth/internal/shard"
 	"dehealth/internal/similarity"
 	"dehealth/internal/synth"
 )
@@ -177,6 +178,14 @@ type Options struct {
 	// Workers bounds the worker pool used for feature extraction when
 	// preparing the attack's feature store (<= 0 uses all CPUs).
 	Workers int
+	// Shards partitions the auxiliary side of a prepared world into this
+	// many partition-parallel scoring shards: QueryUser/QueryBatch fan each
+	// query's O(|aux|) row out across the shards and merge the per-shard
+	// bounded heaps, with results bit-identical to the unsharded path.
+	// Consulted by PrepareWorld (like MaxBigrams and Workers), not per
+	// Attack/Query call. <= 1 disables sharding; counts beyond the
+	// auxiliary population are clamped.
+	Shards int
 	// Seed drives all randomized components.
 	Seed int64
 }
@@ -280,6 +289,7 @@ type PreparedWorld struct {
 	Anon, Aux *Dataset
 
 	anonStore, auxStore *features.Store
+	shards              int
 
 	// world serializes growth of the anonymized side (Ingest) against
 	// everything that reads the stores (queries, attacks).
@@ -291,13 +301,19 @@ type PreparedWorld struct {
 
 // PrepareWorld extracts the feature store of the dataset pair once, using
 // opt.MaxBigrams for the POS-bigram block (fitted on aux, the adversary's
-// data) and opt.Workers extraction workers. The remaining Options fields
-// are ignored here; pass them to (*PreparedWorld).Attack.
+// data), opt.Workers extraction workers and opt.Shards auxiliary scoring
+// shards. The remaining Options fields are ignored here; pass them to
+// (*PreparedWorld).Attack.
 func PrepareWorld(anon, aux *Dataset, opt Options) *PreparedWorld {
 	anonS, auxS := features.BuildPair(anon, aux, opt.MaxBigrams, features.Options{Workers: opt.Workers})
+	shards := opt.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	return &PreparedWorld{
 		Anon: anon, Aux: aux,
 		anonStore: anonS, auxStore: auxS,
+		shards:    shards,
 		pipelines: map[similarity.Config]*core.Pipeline{},
 	}
 }
@@ -318,7 +334,7 @@ func (w *PreparedWorld) pipeline(cfg similarity.Config) *core.Pipeline {
 			return q
 		}
 	}
-	p := core.NewPipelineFromStore(w.anonStore, w.auxStore, cfg)
+	p := core.NewShardedPipelineFromStore(w.anonStore, w.auxStore, cfg, w.shards)
 	w.pipelines[cfg] = p
 	return p
 }
@@ -383,12 +399,47 @@ const NewThread = features.NewThread
 // ingestion.
 type UserPosts = features.UserPosts
 
-// Sizes reports the current world sizes: ingested-side (anonymized) and
-// auxiliary user counts.
+// Sizes reports the current aggregate world sizes: ingested-side
+// (anonymized) and auxiliary user counts. ShardSizes breaks the same
+// totals down per shard.
 func (w *PreparedWorld) Sizes() (anonUsers, auxUsers int) {
 	w.world.RLock()
 	defer w.world.RUnlock()
 	return w.anonStore.NumUsers(), w.auxStore.NumUsers()
+}
+
+// ShardSize is one shard's slice of a prepared world: the contiguous
+// auxiliary partition it scores, and the anonymized accounts homed to it.
+type ShardSize struct {
+	// Shard is the shard index.
+	Shard int
+	// AuxUsers is the size of the shard's auxiliary partition.
+	AuxUsers int
+	// AnonUsers counts the anonymized accounts whose home shard this is.
+	// Homes are assigned by a stable hash of the account name — identical
+	// across restarts of the same prepared world — so ingest accounting is
+	// deterministic; the data itself lives in the single anonymized store
+	// regardless of home.
+	AnonUsers int
+}
+
+// ShardSizes reports the per-shard breakdown of the world (a single entry
+// when sharding is off). Summing the entries reproduces Sizes: auxiliary
+// partitions tile [0, auxUsers) and every anonymized account has exactly
+// one home shard.
+func (w *PreparedWorld) ShardSizes() []ShardSize {
+	w.world.RLock()
+	defer w.world.RUnlock()
+	bounds := shard.Bounds(w.auxStore.NumUsers(), w.shards)
+	n := len(bounds) - 1
+	out := make([]ShardSize, n)
+	for i := 0; i < n; i++ {
+		out[i] = ShardSize{Shard: i, AuxUsers: bounds[i+1] - bounds[i]}
+	}
+	for _, u := range w.Anon.Users {
+		out[shard.RouteName(u.Name, n)].AnonUsers++
+	}
+	return out
 }
 
 // QueryUser returns anonymized user u's top-k auxiliary candidates in
@@ -522,6 +573,10 @@ type ServeOptions struct {
 	// FlushInterval flushes a non-empty micro-batch after this deadline
 	// (default 2ms).
 	FlushInterval time.Duration
+	// DrainTimeout bounds how long Close waits for the pending micro-batch
+	// to finish flushing before returning serve.ErrDrainTimeout (default
+	// 5s); in-flight waiters are answered either way.
+	DrainTimeout time.Duration
 	// K is the candidate-set size of queries that omit k (default 10).
 	K int
 	// Attack supplies the similarity configuration queries score under;
@@ -547,6 +602,14 @@ func (b serveBackend) QueryUser(u, k int) ([]Candidate, error) {
 	return b.w.QueryUser(u, k, b.opt)
 }
 func (b serveBackend) Sizes() (int, int) { return b.w.Sizes() }
+func (b serveBackend) ShardSizes() []serve.ShardCount {
+	sizes := b.w.ShardSizes()
+	out := make([]serve.ShardCount, len(sizes))
+	for i, s := range sizes {
+		out[i] = serve.ShardCount{Shard: s.Shard, AuxUsers: s.AuxUsers, AnonUsers: s.AnonUsers}
+	}
+	return out
+}
 
 // NewServer builds the query service over a prepared world without binding
 // a listener — drive it with (*Server).Serve, ListenAndServe or Handler,
@@ -556,6 +619,7 @@ func NewServer(pw *PreparedWorld, opt ServeOptions) *Server {
 		Workers:       opt.Workers,
 		MaxBatch:      opt.Batch,
 		FlushInterval: opt.FlushInterval,
+		DrainTimeout:  opt.DrainTimeout,
 		DefaultK:      opt.K,
 	})
 }

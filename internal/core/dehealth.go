@@ -16,6 +16,7 @@ import (
 	"dehealth/internal/features"
 	"dehealth/internal/graph"
 	"dehealth/internal/ml"
+	"dehealth/internal/shard"
 	"dehealth/internal/similarity"
 	"dehealth/internal/stylometry"
 )
@@ -33,10 +34,10 @@ const (
 )
 
 // Candidate pairs an auxiliary user with its structural similarity score.
-type Candidate struct {
-	User  int
-	Score float64
-}
+// It is the shard engine's candidate type: the Top-K serving path is
+// partition-parallel (see internal/shard), and core re-exports the type so
+// both layers speak the same currency.
+type Candidate = shard.Candidate
 
 // TopKResult is the outcome of the Top-K DA phase.
 type TopKResult struct {
@@ -77,12 +78,23 @@ func (t *TopKResult) Contains(u, v int) bool {
 }
 
 // Pipeline owns the artifacts shared by both DA phases: the fitted feature
-// extractor, the two UDA graphs and the structural similarity scorer.
+// extractor, the two UDA graphs and the structural similarity scorer. The
+// serving-path queries (QueryUser / QueryBatch) are coordinated through a
+// shard.World — the auxiliary side partitioned into one or more
+// partition-parallel scoring shards — for which Pipeline is a thin router:
+// it validates, fans out, and returns the merged global top-K.
 type Pipeline struct {
 	Anon, Aux *corpus.Dataset
 	Extractor *stylometry.Extractor
 	G1, G2    *graph.UDA
 	Scorer    *similarity.Scorer
+
+	// world is the sharded query engine (single-shard for unsharded
+	// pipelines; nil only on legacy literal-constructed pipelines, which
+	// fall back to an on-the-fly single-shard world).
+	world *shard.World
+	// auxStore backs re-partitioning (Sharded); nil on legacy pipelines.
+	auxStore *features.Store
 }
 
 // NewPipeline builds the UDA graphs of the anonymized and auxiliary datasets
@@ -108,26 +120,68 @@ func NewPipeline(anon, aux *corpus.Dataset, simCfg similarity.Config, maxBigrams
 // similarity score. The stores are not modified and can back any number of
 // concurrent pipelines.
 func NewPipelineFromStore(anon, aux *features.Store, simCfg similarity.Config) *Pipeline {
+	return NewShardedPipelineFromStore(anon, aux, simCfg, 1)
+}
+
+// NewShardedPipelineFromStore is NewPipelineFromStore with the auxiliary
+// side partitioned into shards partition-parallel scoring shards: each
+// shard owns a contiguous feature-store view, an induced UDA subgraph and
+// a scorer window over globally computed caches, and QueryUser/QueryBatch
+// fan out across them and merge the per-shard bounded heaps. shards <= 1
+// (or beyond the aux population, which clamps) yields the single-shard
+// engine wrapping the base scorer directly; every shard count returns
+// bit-identical query results — sharding only changes who computes what
+// where.
+func NewShardedPipelineFromStore(anon, aux *features.Store, simCfg similarity.Config, shards int) *Pipeline {
 	if anon.Extractor != aux.Extractor {
 		panic("core: stores were built with different extractors; build both with the same fitted extractor (see features.BuildPair)")
 	}
 	g1, g2 := anon.UDA(), aux.UDA()
+	sc := similarity.NewScorer(g1, g2, simCfg)
 	return &Pipeline{
 		Anon: anon.Dataset, Aux: aux.Dataset,
 		Extractor: aux.Extractor,
 		G1:        g1, G2: g2,
-		Scorer: similarity.NewScorer(g1, g2, simCfg),
+		Scorer:   sc,
+		world:    shard.New(sc, g2, aux, shards),
+		auxStore: aux,
 	}
 }
 
 // WithSimilarity returns a pipeline sharing this pipeline's datasets,
 // graphs and feature artifacts but scoring under cfg. When cfg keeps the
 // landmark count the scorer's precomputed landmark-distance caches are
-// shared too, making a similarity-weight sweep nearly free.
+// shared too, making a similarity-weight sweep nearly free. The shard
+// world is re-derived from the re-weighted scorer, reusing every shard's
+// store view and induced subgraph.
 func (p *Pipeline) WithSimilarity(cfg similarity.Config) *Pipeline {
 	q := *p
 	q.Scorer = p.Scorer.Reweighted(cfg)
+	if p.world != nil {
+		q.world = p.world.WithScorer(q.Scorer)
+	}
 	return &q
+}
+
+// Sharded returns a pipeline over the same artifacts whose query path is
+// re-partitioned into n shards (clamped as shard.Bounds documents).
+func (p *Pipeline) Sharded(n int) *Pipeline {
+	q := *p
+	q.world = shard.New(p.Scorer, p.G2, p.auxStore, n)
+	return &q
+}
+
+// Shards returns the query path's auxiliary partition count (1 for
+// unsharded pipelines).
+func (p *Pipeline) Shards() int { return p.shardWorld().N() }
+
+// shardWorld returns the pipeline's shard world, deriving a single-shard
+// one on the fly for legacy literal-constructed pipelines.
+func (p *Pipeline) shardWorld() *shard.World {
+	if p.world != nil {
+		return p.world
+	}
+	return shard.New(p.Scorer, p.G2, nil, 1)
 }
 
 // TopK runs the Top-K DA phase (Algorithm 1, lines 2–5). trueMapping is

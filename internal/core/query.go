@@ -1,137 +1,60 @@
 // Online single-user query path. The batch TopK phase computes (and
 // discards) full similarity-matrix rows; serving a newly observed account
-// needs exactly one row's top-K, so QueryUser streams the |V2| scores
-// through a bounded min-heap instead — O(|V2|·dim) time, O(K) extra memory,
-// and no row or matrix allocation. The candidate set and its ordering are
-// bit-identical to the full-matrix direct selection (see the equivalence
-// test), so the serving path and the offline evaluation can never drift.
+// needs exactly one row's top-K, so QueryUser routes the query through the
+// pipeline's shard world instead: each auxiliary shard streams its slice
+// of the row through a bounded min-heap (O(shard size) time, O(K) memory,
+// no row or matrix allocation) and the per-shard heaps merge into the
+// global top-K under the stable selection order (score descending, global
+// auxiliary id ascending). The candidate set and its ordering are
+// bit-identical to the full-matrix direct selection — and identical across
+// every shard count (see the equivalence and sharded parity tests) — so
+// the serving path, the sharded serving path and the offline evaluation
+// can never drift. Pipeline is deliberately a thin coordinator here:
+// validation lives below, scoring and merging live in internal/shard.
 
 package core
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 )
 
 // QueryUser computes anonymized user u's top-k auxiliary candidates in
 // decreasing score order (ties by smaller auxiliary index), exactly as
 // TopK(k, DirectSelection, nil).Candidates[u] would, without materializing
-// a similarity row. Safe for concurrent use with other queries; not with
+// a similarity row. On a sharded pipeline the row fans out across shards
+// in parallel. Safe for concurrent use with other queries; not with
 // ingestion (the serving layer serializes the two).
 func (p *Pipeline) QueryUser(u, k int) []Candidate {
-	n1, n2 := p.G1.NumNodes(), p.G2.NumNodes()
-	if u < 0 || u >= n1 {
+	if n1 := p.G1.NumNodes(); u < 0 || u >= n1 {
 		panic(fmt.Sprintf("core: QueryUser user %d out of range [0, %d)", u, n1))
 	}
 	if k < 1 {
 		panic(fmt.Sprintf("core: K must be >= 1, got %d", k))
 	}
-	if k > n2 {
-		k = n2
-	}
-	// Bounded min-heap of the k best candidates seen so far, ordered
-	// worst-first under the selection order (higher score wins, ties to the
-	// smaller index).
-	h := make(candidateHeap, 0, k)
-	for v := 0; v < n2; v++ {
-		c := Candidate{User: v, Score: p.Scorer.Score(u, v)}
-		if len(h) < k {
-			h = append(h, c)
-			h.up(len(h) - 1)
-		} else if candidateLess(h[0], c) {
-			h[0] = c
-			h.down(0)
-		}
-	}
-	out := []Candidate(h)
-	sort.Slice(out, func(a, b int) bool { return candidateLess(out[b], out[a]) })
-	return out
+	return p.shardWorld().QueryUser(u, k)
 }
 
 // QueryBatch answers one QueryUser per entry of users, fanning the batch
 // out over a bounded worker pool (workers <= 0 uses GOMAXPROCS). Results
 // line up with users by index.
 func (p *Pipeline) QueryBatch(users []int, k, workers int) [][]Candidate {
-	out := make([][]Candidate, len(users))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(users) {
-		workers = len(users)
-	}
-	if workers <= 1 {
-		for i, u := range users {
-			out[i] = p.QueryUser(u, k)
+	n1 := p.G1.NumNodes()
+	for _, u := range users {
+		if u < 0 || u >= n1 {
+			panic(fmt.Sprintf("core: QueryBatch user %d out of range [0, %d)", u, n1))
 		}
-		return out
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = p.QueryUser(users[i], k)
-			}
-		}()
+	if k < 1 {
+		panic(fmt.Sprintf("core: K must be >= 1, got %d", k))
 	}
-	for i := range users {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
+	return p.shardWorld().QueryBatch(users, k, workers)
 }
 
 // SyncAppended extends the pipeline's similarity caches over anonymized
 // users appended to the underlying store/graph since the pipeline was built
-// (or last synced), returning how many were added. Serialize against
-// queries.
+// (or last synced), returning how many were added. The anonymized-side
+// caches are shared across every shard window, so one sync covers the whole
+// shard world. Serialize against queries.
 func (p *Pipeline) SyncAppended() int {
 	return p.Scorer.SyncAnon()
-}
-
-// candidateLess orders candidates worse-first: a is worse than b when it
-// scores lower, or ties with a larger auxiliary index — the exact inverse
-// of the deterministic selection order used by topCandidates.
-func candidateLess(a, b Candidate) bool {
-	if a.Score != b.Score {
-		return a.Score < b.Score
-	}
-	return a.User > b.User
-}
-
-// candidateHeap is a worst-first binary heap of candidates.
-type candidateHeap []Candidate
-
-func (h candidateHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !candidateLess(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h candidateHeap) down(i int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(h) && candidateLess(h[l], h[small]) {
-			small = l
-		}
-		if r < len(h) && candidateLess(h[r], h[small]) {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		h[i], h[small] = h[small], h[i]
-		i = small
-	}
 }

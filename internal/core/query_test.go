@@ -133,3 +133,87 @@ func TestQueryUserAllocBounds(t *testing.T) {
 		t.Fatalf("QueryUser allocates %d B/op, not below one matrix row (%d B)", perOp, rowBytes)
 	}
 }
+
+// TestShardedQueryMatchesTopK is the tentpole parity guarantee at the
+// pipeline level: for shard counts from 1 through beyond the auxiliary
+// population, the fan-out/merge query path returns bit-identical candidate
+// sets — set, order and scores — to the full-matrix direct selection, for
+// every user and several K.
+func TestShardedQueryMatchesTopK(t *testing.T) {
+	split := world(t, 24, 6, 0.5, 61)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+	base := NewPipelineFromStore(anonS, auxS, cfg)
+	auxN := split.Aux.NumUsers()
+	if base.Shards() != 1 {
+		t.Fatalf("unsharded pipeline reports %d shards, want 1", base.Shards())
+	}
+
+	for _, n := range []int{1, 2, 3, 4, 7, auxN, auxN + 5} {
+		p := NewShardedPipelineFromStore(anonS, auxS, cfg, n)
+		derived := base.Sharded(n)
+		for _, k := range []int{1, 5, auxN + 3} {
+			tk := base.TopK(k, DirectSelection, nil)
+			for u := 0; u < split.Anon.NumUsers(); u++ {
+				assertSameCandidates(t, u, p.QueryUser(u, k), tk.Candidates[u])
+				assertSameCandidates(t, u, derived.QueryUser(u, k), tk.Candidates[u])
+			}
+		}
+	}
+}
+
+// TestShardedIngestThenQueryParity grows the anonymized side behind a
+// sharded pipeline and checks the appended users query identically to an
+// unsharded pipeline over the grown world — the anon-side caches are
+// shared across shard windows, so one SyncAppended covers the fan-out
+// path.
+func TestShardedIngestThenQueryParity(t *testing.T) {
+	split := world(t, 20, 6, 0.5, 63)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+	sharded := NewShardedPipelineFromStore(anonS, auxS, cfg, 3)
+
+	n0 := split.Anon.NumUsers()
+	if _, err := anonS.Append([]features.UserPosts{
+		{User: corpus.User{Name: "observed-1", TrueIdentity: -1}, Posts: []features.IncomingPost{
+			{Thread: 0, Text: split.Aux.Posts[0].Text},
+		}},
+		{User: corpus.User{Name: "observed-2", TrueIdentity: -1}, Posts: []features.IncomingPost{
+			{Thread: features.NewThread, Text: split.Aux.Posts[1].Text},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if added := sharded.SyncAppended(); added != 2 {
+		t.Fatalf("SyncAppended added %d, want 2", added)
+	}
+	tk := sharded.TopK(5, DirectSelection, nil)
+	for u := 0; u < n0+2; u++ {
+		assertSameCandidates(t, u, sharded.QueryUser(u, 5), tk.Candidates[u])
+	}
+}
+
+// TestShardedWithSimilarity re-weights a sharded pipeline and checks the
+// re-derived shard world scores like a freshly built one.
+func TestShardedWithSimilarity(t *testing.T) {
+	split := world(t, 18, 6, 0.5, 65)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	base := NewShardedPipelineFromStore(anonS, auxS, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}, 4)
+
+	target := similarity.Config{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 5}
+	rw := base.WithSimilarity(target)
+	if rw.Shards() != 4 {
+		t.Fatalf("reweighted pipeline has %d shards, want 4", rw.Shards())
+	}
+	fresh := NewShardedPipelineFromStore(anonS, auxS, target, 4)
+	for u := 0; u < split.Anon.NumUsers(); u++ {
+		assertSameCandidates(t, u, rw.QueryUser(u, 4), fresh.QueryUser(u, 4))
+	}
+
+	// Landmark-count changes rebuild the base scorer and re-shard.
+	lm := base.WithSimilarity(similarity.Config{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 3})
+	lmFresh := NewShardedPipelineFromStore(anonS, auxS, similarity.Config{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 3}, 4)
+	for u := 0; u < split.Anon.NumUsers(); u++ {
+		assertSameCandidates(t, u, lm.QueryUser(u, 4), lmFresh.QueryUser(u, 4))
+	}
+}

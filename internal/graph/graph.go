@@ -13,6 +13,7 @@
 package graph
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -404,6 +405,29 @@ func (g *Graph) DegreeFilter(minDeg int) (*Graph, []int) {
 	return sub, keep
 }
 
+// InducedRange returns the subgraph induced by the contiguous node range
+// [lo, hi): node j of the result corresponds to node lo+j of g, and an edge
+// survives iff both endpoints fall inside the range (edge weights are
+// preserved; edges crossing the range boundary are dropped). The result is
+// frozen. Used to give each auxiliary shard its own shard-local topology.
+func (g *Graph) InducedRange(lo, hi int) *Graph {
+	if lo < 0 || hi > g.n || lo > hi {
+		panic(fmt.Sprintf("graph: InducedRange [%d, %d) out of [0, %d)", lo, hi, g.n))
+	}
+	g.Freeze()
+	adj := make([][]Edge, hi-lo)
+	for u := lo; u < hi; u++ {
+		var es []Edge
+		for _, e := range g.adj[u] {
+			if e.To >= lo && e.To < hi {
+				es = append(es, Edge{To: e.To - lo, Weight: e.Weight})
+			}
+		}
+		adj[u-lo] = es // already sorted: the shift is monotonic
+	}
+	return &Graph{n: hi - lo, adj: adj}
+}
+
 // DegreeHistogram returns counts of nodes per degree (index = degree).
 func (g *Graph) DegreeHistogram() []int {
 	maxDeg := 0
@@ -527,6 +551,19 @@ func (g *UDA) AppendNode(attrs stylometry.AttrSet, vecs [][]float64) int {
 	g.Attrs = append(g.Attrs, attrs)
 	g.PostVectors = append(g.PostVectors, vecs)
 	return u
+}
+
+// InducedRange returns the UDA subgraph induced by the contiguous user
+// range [lo, hi): the induced correlation topology plus per-user attribute
+// sets and post vectors as slice views of this graph's — no vector or
+// attribute data is copied. The shard engine uses it to give each
+// auxiliary partition its own shard-local UDA.
+func (g *UDA) InducedRange(lo, hi int) *UDA {
+	return &UDA{
+		Graph:       g.Graph.InducedRange(lo, hi),
+		Attrs:       g.Attrs[lo:hi:hi],
+		PostVectors: g.PostVectors[lo:hi:hi],
+	}
 }
 
 // BuildUDAFromVectors constructs the UDA graph of a dataset from precomputed

@@ -517,3 +517,87 @@ func TestUDAAppendNode(t *testing.T) {
 		t.Fatalf("appended node has %d post vectors, want 1", len(u.PostVectors[2]))
 	}
 }
+
+// TestInducedRange checks the contiguous induced subgraph: in-range edges
+// survive with their weights under shifted ids, boundary-crossing edges are
+// dropped, and degenerate ranges work.
+func TestInducedRange(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3) // crosses the [2, 5) boundary
+	g.AddEdge(2, 3, 5)
+	g.AddEdge(3, 4, 7)
+	g.AddEdge(4, 5, 11) // crosses the upper boundary
+	g.AddEdge(2, 4, 13)
+
+	sub := g.InducedRange(2, 5)
+	if sub.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", sub.NumNodes())
+	}
+	wantEdges := map[[2]int]float64{{0, 1}: 5, {1, 2}: 7, {0, 2}: 13}
+	if sub.NumEdges() != len(wantEdges) {
+		t.Fatalf("edges = %d, want %d", sub.NumEdges(), len(wantEdges))
+	}
+	for e, w := range wantEdges {
+		if got := sub.EdgeWeight(e[0], e[1]); got != w {
+			t.Errorf("EdgeWeight(%d, %d) = %v, want %v", e[0], e[1], got, w)
+		}
+	}
+	// Adjacency stays sorted by neighbor id after the shift.
+	for u := 0; u < sub.NumNodes(); u++ {
+		es := sub.Neighbors(u)
+		for i := 1; i < len(es); i++ {
+			if es[i].To <= es[i-1].To {
+				t.Fatalf("node %d adjacency unsorted: %+v", u, es)
+			}
+		}
+	}
+
+	if empty := g.InducedRange(3, 3); empty.NumNodes() != 0 || empty.NumEdges() != 0 {
+		t.Fatal("empty range not empty")
+	}
+	if full := g.InducedRange(0, 6); full.NumEdges() != g.NumEdges() {
+		t.Fatalf("full range has %d edges, want %d", full.NumEdges(), g.NumEdges())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range InducedRange accepted")
+		}
+	}()
+	g.InducedRange(4, 7)
+}
+
+// TestUDAInducedRange checks the UDA range view shares (not copies) the
+// parent's attribute sets and post vectors.
+func TestUDAInducedRange(t *testing.T) {
+	d := &corpus.Dataset{
+		Name: "t",
+		Users: []corpus.User{
+			{ID: 0, Name: "a", TrueIdentity: -1},
+			{ID: 1, Name: "b", TrueIdentity: -1},
+			{ID: 2, Name: "c", TrueIdentity: -1},
+		},
+		Threads: []corpus.Thread{{ID: 0, Board: "x", Starter: 0}, {ID: 1, Board: "x", Starter: 1}},
+		Posts: []corpus.Post{
+			{ID: 0, User: 0, Thread: 0, Text: "shared thread post one"},
+			{ID: 1, User: 1, Thread: 0, Text: "shared thread post two"},
+			{ID: 2, User: 1, Thread: 1, Text: "another thread entirely"},
+			{ID: 3, User: 2, Thread: 1, Text: "joining the second thread"},
+		},
+	}
+	u := BuildUDA(d, stylometry.New())
+	sub := u.InducedRange(1, 3)
+	if sub.NumNodes() != 2 || len(sub.Attrs) != 2 || len(sub.PostVectors) != 2 {
+		t.Fatalf("sub sizes: nodes %d attrs %d vecs %d, want 2/2/2", sub.NumNodes(), len(sub.Attrs), len(sub.PostVectors))
+	}
+	// Edge 1-2 (users b, c) survives as 0-1; edge 0-1 is dropped.
+	if sub.EdgeWeight(0, 1) != u.EdgeWeight(1, 2) || sub.EdgeWeight(0, 1) == 0 {
+		t.Fatalf("surviving edge weight %v, want %v", sub.EdgeWeight(0, 1), u.EdgeWeight(1, 2))
+	}
+	// Post vectors are the same underlying slices, not copies.
+	for i := 0; i < 2; i++ {
+		if len(sub.PostVectors[i]) == 0 || &sub.PostVectors[i][0][0] != &u.PostVectors[1+i][0][0] {
+			t.Fatalf("post vectors of sub node %d are not views of parent node %d", i, 1+i)
+		}
+	}
+}

@@ -12,10 +12,16 @@
 // call — and then the flush's queries fan out over a bounded worker pool.
 // The dispatcher is therefore the only writer the backend ever sees, and
 // reads never overlap mutation, so the whole service is race-free without
-// locks on the scoring hot path.
+// locks on the scoring hot path. A sharded backend changes none of this:
+// per-shard state is immutable after partitioning and queries fan out
+// inside the backend's QueryUser, so the single-writer flush discipline
+// survives sharding; /v1/stats additionally reports the per-shard
+// breakdown.
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,17 +43,32 @@ func corpusUser(name string) corpus.User {
 	return corpus.User{Name: name, TrueIdentity: -1}
 }
 
+// ShardCount is one shard's slice of the world in /v1/stats: the
+// auxiliary partition it scores and the anonymized accounts whose stable
+// name hash routes them to it.
+type ShardCount struct {
+	Shard     int `json:"shard"`
+	AuxUsers  int `json:"aux_users"`
+	AnonUsers int `json:"anon_users"`
+}
+
 // Backend is the prepared world a Server queries and grows. Implementations
 // need no internal locking against the Server: all calls arrive from the
-// dispatcher's flush, ingestion strictly before queries.
+// dispatcher's flush, ingestion strictly before queries. When the backend
+// shards its auxiliary side, queries fan out inside QueryUser; the
+// dispatcher stays the world's only writer either way, so the lock-free
+// flush discipline survives sharding unchanged.
 type Backend interface {
 	// Ingest appends newly observed anonymous users and returns their new
 	// user indices, aligned with the batch.
 	Ingest(batch []features.UserPosts) ([]int, error)
 	// QueryUser returns the top-k auxiliary candidates of anonymized user u.
 	QueryUser(u, k int) ([]core.Candidate, error)
-	// Sizes reports the current world sizes (for /v1/stats).
+	// Sizes reports the current aggregate world sizes (for /v1/stats).
 	Sizes() (anonUsers, auxUsers int)
+	// ShardSizes reports the per-shard breakdown (a single element for
+	// unsharded worlds); the aggregate of the entries matches Sizes.
+	ShardSizes() []ShardCount
 }
 
 // Config tunes the service.
@@ -61,6 +82,12 @@ type Config struct {
 	FlushInterval time.Duration
 	// DefaultK is the candidate-set size of queries that omit k (default 10).
 	DefaultK int
+	// DrainTimeout bounds how long Close waits for the dispatcher to
+	// finish the pending micro-batch (default 5s). Within the deadline
+	// every in-flight waiter gets its response; past it Close returns
+	// ErrDrainTimeout while the flush finishes in the background, and
+	// late-arriving requests get ErrClosed either way.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -76,21 +103,32 @@ func (c Config) withDefaults() Config {
 	if c.DefaultK <= 0 {
 		c.DefaultK = 10
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	return c
 }
 
 // ErrClosed is returned to requests that arrive after Close.
 var ErrClosed = errors.New("serve: server closed")
 
-// Stats is the /v1/stats payload.
+// ErrDrainTimeout is returned by Close when the pending batch did not
+// finish flushing within Config.DrainTimeout. The flush keeps running in
+// the background so its waiters still get answers; the error only tells
+// the closer that shutdown did not observe a quiesced dispatcher.
+var ErrDrainTimeout = errors.New("serve: drain deadline exceeded")
+
+// Stats is the /v1/stats payload: aggregate sizes and counters plus the
+// per-shard breakdown of the world.
 type Stats struct {
-	AnonUsers     int     `json:"anon_users"`
-	AuxUsers      int     `json:"aux_users"`
-	Queries       int64   `json:"queries"`
-	Ingests       int64   `json:"ingests"`
-	Batches       int64   `json:"batches"`
-	MeanBatchSize float64 `json:"mean_batch_size"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	AnonUsers     int          `json:"anon_users"`
+	AuxUsers      int          `json:"aux_users"`
+	Shards        []ShardCount `json:"shards"`
+	Queries       int64        `json:"queries"`
+	Ingests       int64        `json:"ingests"`
+	Batches       int64        `json:"batches"`
+	MeanBatchSize float64      `json:"mean_batch_size"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
 }
 
 // Server is the running query service. Create with New, expose with
@@ -119,13 +157,14 @@ type Server struct {
 type request struct {
 	// Exactly one of query / ingest is set.
 	query  *queryWire
-	ingest []features.UserPosts // single-user batch from /v1/ingest
+	ingest []features.UserPosts // one client's ingest batch from /v1/ingest
 	done   chan result          // buffered(1): flush never blocks on it
 }
 
 type result struct {
 	candidates []core.Candidate
 	user       int
+	users      []int // new ids of an ingest request, aligned with its batch
 	err        error
 }
 
@@ -207,7 +246,8 @@ func (s *Server) flush(batch []*request) {
 		if err == nil {
 			at := 0
 			for _, r := range ingests {
-				r.done <- result{user: ids[at]}
+				mine := ids[at : at+len(r.ingest)]
+				r.done <- result{user: firstID(mine), users: mine}
 				at += len(r.ingest)
 			}
 		} else {
@@ -220,7 +260,7 @@ func (s *Server) flush(batch []*request) {
 				if err != nil {
 					r.done <- result{err: err}
 				} else {
-					r.done <- result{user: ids[0]}
+					r.done <- result{user: firstID(ids), users: ids}
 				}
 			}
 		}
@@ -257,6 +297,15 @@ func (s *Server) flush(batch []*request) {
 	atomic.AddInt64(&s.queries, int64(len(queries)))
 }
 
+// firstID returns the first id of an ingest reply, or -1 for an empty
+// batch (a degenerate but accepted request).
+func firstID(ids []int) int {
+	if len(ids) == 0 {
+		return -1
+	}
+	return ids[0]
+}
+
 // submit enqueues a request and waits for its result or cancellation.
 func (s *Server) submit(r *request, cancel <-chan struct{}) (result, error) {
 	select {
@@ -285,6 +334,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		AnonUsers:     anon,
 		AuxUsers:      aux,
+		Shards:        s.backend.ShardSizes(),
 		Queries:       atomic.LoadInt64(&s.queries),
 		Ingests:       atomic.LoadInt64(&s.ingests),
 		Batches:       batches,
@@ -293,22 +343,52 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// Close stops the dispatcher (flushing any pending batch) and shuts down
-// the HTTP listener if one was started. Safe to call more than once.
+// Close stops the dispatcher, draining the pending micro-batch so every
+// in-flight waiter gets its response, then shuts the HTTP side down
+// gracefully if a listener was started — http.Server.Shutdown, so handler
+// goroutines finish writing the responses the drain just produced before
+// connections close. The whole shutdown is bounded by Config.DrainTimeout:
+// past the deadline Close returns ErrDrainTimeout and force-closes
+// whatever is left (a stuck flush keeps running in the background and
+// still answers its waiters). Requests arriving after Close get ErrClosed.
+// Safe to call more than once.
 func (s *Server) Close() error {
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	s.closeOnce.Do(func() {
 		close(s.quit)
 	})
-	s.wg.Wait()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	var drainErr error
+	select {
+	case <-drained:
+	case <-timer.C:
+		drainErr = ErrDrainTimeout
+	}
 	s.mu.Lock()
 	s.closed = true
 	srv := s.http
 	s.http = nil
 	s.mu.Unlock()
 	if srv != nil {
-		return srv.Close()
+		// Graceful within what remains of the drain budget; force-close
+		// past it so a hung client cannot pin shutdown open.
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			_ = srv.Close()
+			if drainErr == nil {
+				drainErr = ErrDrainTimeout
+			}
+		}
 	}
-	return nil
+	return drainErr
 }
 
 // wire formats
@@ -344,16 +424,25 @@ type ingestReplyWire struct {
 	User int `json:"user"`
 }
 
+type ingestBatchReplyWire struct {
+	Users []int `json:"users"`
+}
+
 type errorWire struct {
 	Error string `json:"error"`
 }
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/query   {"user": 17, "k": 10}            -> {"user": 17, "candidates": [{"user": 3, "score": 1.87}, ...]}
-//	POST /v1/ingest  {"name": "...", "posts": [...]}  -> {"user": 42}
-//	GET  /v1/stats                                    -> Stats
-//	GET  /healthz                                     -> ok
+//	POST /v1/query   {"user": 17, "k": 10}              -> {"user": 17, "candidates": [{"user": 3, "score": 1.87}, ...]}
+//	POST /v1/ingest  {"name": "...", "posts": [...]}    -> {"user": 42}
+//	POST /v1/ingest  [{"name": ..., "posts": ...}, ...] -> {"users": [42, 43, ...]}
+//	GET  /v1/stats                                      -> Stats (aggregate + per-shard counts)
+//	GET  /healthz                                       -> ok
+//
+// A batched ingest body applies atomically as one backend call — one
+// dataset append, one graph splice, one similarity sync — instead of N
+// single-user calls, and its users get dense consecutive ids.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -391,26 +480,58 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var in ingestWire
-	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorWire{Error: "invalid ingest body: " + err.Error()})
 		return
 	}
-	up := features.UserPosts{User: corpusUser(in.Name), Posts: make([]features.IncomingPost, len(in.Posts))}
-	for i, p := range in.Posts {
-		t := features.NewThread
-		if p.Thread != nil {
-			t = *p.Thread
+	// A JSON array is a batched ingest; a single object remains accepted
+	// for compatibility and keeps the single-user reply shape.
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	batched := len(trimmed) > 0 && trimmed[0] == '['
+
+	var ins []ingestWire
+	if batched {
+		if err := json.Unmarshal(raw, &ins); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorWire{Error: "invalid ingest batch: " + err.Error()})
+			return
 		}
-		up.Posts[i] = features.IncomingPost{Thread: t, Text: p.Text}
+	} else {
+		var in ingestWire
+		if err := json.Unmarshal(raw, &in); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorWire{Error: "invalid ingest body: " + err.Error()})
+			return
+		}
+		ins = []ingestWire{in}
 	}
-	res, err := s.submit(&request{ingest: []features.UserPosts{up}, done: make(chan result, 1)}, r.Context().Done())
+	if len(ins) == 0 {
+		writeJSON(w, http.StatusOK, ingestBatchReplyWire{Users: []int{}})
+		return
+	}
+
+	batch := make([]features.UserPosts, len(ins))
+	for bi, in := range ins {
+		up := features.UserPosts{User: corpusUser(in.Name), Posts: make([]features.IncomingPost, len(in.Posts))}
+		for i, p := range in.Posts {
+			t := features.NewThread
+			if p.Thread != nil {
+				t = *p.Thread
+			}
+			up.Posts[i] = features.IncomingPost{Thread: t, Text: p.Text}
+		}
+		batch[bi] = up
+	}
+	res, err := s.submit(&request{ingest: batch, done: make(chan result, 1)}, r.Context().Done())
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorWire{Error: err.Error()})
 		return
 	}
 	if res.err != nil {
 		writeJSON(w, http.StatusBadRequest, errorWire{Error: res.err.Error()})
+		return
+	}
+	if batched {
+		writeJSON(w, http.StatusOK, ingestBatchReplyWire{Users: res.users})
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestReplyWire{User: res.user})

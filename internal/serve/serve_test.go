@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -69,6 +70,11 @@ func (b *testBackend) Sizes() (int, int) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.p.G1.NumNodes(), b.p.G2.NumNodes()
+}
+
+func (b *testBackend) ShardSizes() []ShardCount {
+	anon, aux := b.Sizes()
+	return []ShardCount{{Shard: 0, AuxUsers: aux, AnonUsers: anon}}
 }
 
 func postJSON(t *testing.T, url string, body any) *http.Response {
@@ -347,5 +353,234 @@ func TestServeAfterClose(t *testing.T) {
 	}
 	if _, err := l.Accept(); err == nil {
 		t.Fatal("listener left open after Serve on closed server")
+	}
+}
+
+// TestBatchedIngest drives the array form of /v1/ingest: several users in
+// one body land as one backend batch with dense consecutive ids, the
+// single-object form keeps its reply shape, and the empty array is a
+// well-formed no-op.
+func TestBatchedIngest(t *testing.T) {
+	b := newTestBackend(t, 12, 101)
+	anon0, _ := b.Sizes()
+	s := New(b, Config{FlushInterval: time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	thread := 0
+	resp := postJSON(t, ts.URL+"/v1/ingest", []ingestWire{
+		{Name: "batch-a", Posts: []ingestPostWire{{Thread: &thread, Text: "first batched account"}}},
+		{Name: "batch-b", Posts: []ingestPostWire{{Text: "second batched account, fresh thread"}}},
+		{Name: "batch-c", Posts: []ingestPostWire{{Text: "third batched account"}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batched ingest status %d", resp.StatusCode)
+	}
+	reply := decode[ingestBatchReplyWire](t, resp)
+	if len(reply.Users) != 3 {
+		t.Fatalf("batched ingest returned %d ids, want 3", len(reply.Users))
+	}
+	for i, id := range reply.Users {
+		if id != anon0+i {
+			t.Fatalf("batched ids %v, want dense from %d", reply.Users, anon0)
+		}
+	}
+	if anon1, _ := b.Sizes(); anon1 != anon0+3 {
+		t.Fatalf("anon users = %d, want %d", anon1, anon0+3)
+	}
+
+	// The whole batch is one logical ingest request in the counters.
+	if st := s.Stats(); st.Ingests != 1 {
+		t.Fatalf("stats ingests = %d, want 1", st.Ingests)
+	}
+
+	// Single-object compatibility.
+	resp = postJSON(t, ts.URL+"/v1/ingest", ingestWire{Name: "solo", Posts: []ingestPostWire{{Text: "single object body"}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single ingest status %d", resp.StatusCode)
+	}
+	if one := decode[ingestReplyWire](t, resp); one.User != anon0+3 {
+		t.Fatalf("single ingest id %d, want %d", one.User, anon0+3)
+	}
+
+	// Empty batch: accepted, nothing applied.
+	resp = postJSON(t, ts.URL+"/v1/ingest", []ingestWire{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	if empty := decode[ingestBatchReplyWire](t, resp); len(empty.Users) != 0 {
+		t.Fatalf("empty batch returned ids %v", empty.Users)
+	}
+	if anon2, _ := b.Sizes(); anon2 != anon0+4 {
+		t.Fatalf("anon users = %d, want %d", anon2, anon0+4)
+	}
+
+	// A bad entry fails the whole batched body (it is one atomic request).
+	bad := 9999
+	resp = postJSON(t, ts.URL+"/v1/ingest", []ingestWire{
+		{Name: "ok", Posts: []ingestPostWire{{Text: "fine"}}},
+		{Name: "broken", Posts: []ingestPostWire{{Thread: &bad, Text: "nope"}}},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch status %d, want 400", resp.StatusCode)
+	}
+	if anon3, _ := b.Sizes(); anon3 != anon0+4 {
+		t.Fatalf("bad batch mutated the world: %d users, want %d", anon3, anon0+4)
+	}
+}
+
+// TestStatsShards checks /v1/stats carries the per-shard breakdown the
+// backend reports.
+func TestStatsShards(t *testing.T) {
+	b := newTestBackend(t, 14, 111)
+	s := New(b, Config{FlushInterval: time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[Stats](t, resp)
+	if len(st.Shards) != 1 {
+		t.Fatalf("stats shards = %+v, want one entry", st.Shards)
+	}
+	if st.Shards[0].AuxUsers != st.AuxUsers || st.Shards[0].AnonUsers != st.AnonUsers {
+		t.Fatalf("shard breakdown %+v does not match aggregate (%d, %d)", st.Shards[0], st.AnonUsers, st.AuxUsers)
+	}
+}
+
+// TestCloseDrainsInFlight pins the graceful-drain contract: a query
+// sitting in the pending micro-batch when Close arrives is answered (the
+// final flush runs inside the drain window) and Close returns nil.
+func TestCloseDrainsInFlight(t *testing.T) {
+	b := newTestBackend(t, 10, 121)
+	// Huge MaxBatch + long deadline: the request can only be flushed by
+	// Close's quit path, never by size or timer.
+	s := New(b, Config{MaxBatch: 1024, FlushInterval: time.Hour, DrainTimeout: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type outcome struct {
+		status int
+		err    error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(`{"user": 1, "k": 3}`)))
+		if err != nil {
+			got <- outcome{err: err}
+			return
+		}
+		resp.Body.Close()
+		got <- outcome{status: resp.StatusCode}
+	}()
+	// Let the request reach the dispatcher's pending batch.
+	time.Sleep(100 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v, want nil (drained)", err)
+	}
+	o := <-got
+	if o.err != nil {
+		t.Fatalf("in-flight query failed: %v", o.err)
+	}
+	if o.status != http.StatusOK {
+		t.Fatalf("in-flight query status %d, want 200 (drained with a response)", o.status)
+	}
+}
+
+// stallBackend wraps a backend whose QueryUser blocks until released —
+// the pathological flush the drain deadline exists for.
+type stallBackend struct {
+	*testBackend
+	release chan struct{}
+}
+
+func (b *stallBackend) QueryUser(u, k int) ([]core.Candidate, error) {
+	<-b.release
+	return b.testBackend.QueryUser(u, k)
+}
+
+// TestCloseDrainTimeout checks Close gives up after DrainTimeout with
+// ErrDrainTimeout while the stuck flush still answers its waiter once the
+// backend recovers — late, but never dropped.
+func TestCloseDrainTimeout(t *testing.T) {
+	b := &stallBackend{testBackend: newTestBackend(t, 10, 131), release: make(chan struct{})}
+	s := New(b, Config{MaxBatch: 1, FlushInterval: time.Millisecond, DrainTimeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(`{"user": 0, "k": 2}`)))
+		if err != nil {
+			status <- -1
+			return
+		}
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let the flush enter the stalled backend
+
+	start := time.Now()
+	err := s.Close()
+	if !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Close = %v, want ErrDrainTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close blocked %v despite the drain deadline", elapsed)
+	}
+
+	close(b.release) // backend recovers; the background flush completes
+	if got := <-status; got != http.StatusOK && got != -1 {
+		t.Fatalf("stalled query finished with status %d", got)
+	}
+}
+
+// TestCloseDrainsServePath repeats the drain guarantee over a real
+// listener (Serve, not just Handler): Close must let the handler
+// goroutine finish writing the drained response before the connection is
+// torn down — http.Server.Shutdown semantics, not Close semantics.
+func TestCloseDrainsServePath(t *testing.T) {
+	b := newTestBackend(t, 10, 141)
+	s := New(b, Config{MaxBatch: 1024, FlushInterval: time.Hour, DrainTimeout: 5 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+
+	type outcome struct {
+		status int
+		err    error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Post("http://"+l.Addr().String()+"/v1/query", "application/json",
+			bytes.NewReader([]byte(`{"user": 1, "k": 3}`)))
+		if err != nil {
+			got <- outcome{err: err}
+			return
+		}
+		resp.Body.Close()
+		got <- outcome{status: resp.StatusCode}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request reach the pending batch
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v, want nil", err)
+	}
+	o := <-got
+	if o.err != nil {
+		t.Fatalf("in-flight query over the live listener failed: %v", o.err)
+	}
+	if o.status != http.StatusOK {
+		t.Fatalf("in-flight query status %d, want 200", o.status)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
 	}
 }

@@ -1,0 +1,390 @@
+// Package shard partitions the auxiliary side of a prepared De-Health
+// world into contiguous shards and serves partition-parallel top-K scoring
+// over them — the architecture that keeps the O(|aux|) single-row query
+// hot path scaling with cores as the auxiliary population grows toward the
+// millions-of-users regime.
+//
+// A World cuts the global auxiliary id space [0, |aux|) into n contiguous
+// ranges. Each Shard owns the range's features.Store view (rows indexing
+// into the one shared flat feature matrix — nothing is copied), its
+// induced UDA subgraph, and a similarity.Scorer window whose aux-side
+// caches are contiguous slice views of the base scorer's globally computed
+// arrays. Because every shard scores against global values (global
+// landmarks, global degrees), the union of per-shard bounded top-K heaps
+// merged under the global selection order (score descending, global id
+// ascending) is bit-identical to the unsharded single-row path; the merge
+// is exact because any global top-K candidate is necessarily inside its
+// own shard's top-K.
+//
+// Mutation discipline: shards are immutable after partitioning. The
+// anonymized side grows through the base scorer family's shared caches
+// (similarity.SyncAnon), so the serving layer's single-writer flush
+// discipline carries over unchanged — a World adds readers, never writers.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dehealth/internal/features"
+	"dehealth/internal/graph"
+	"dehealth/internal/similarity"
+)
+
+// Candidate pairs a global auxiliary user id with its similarity score.
+type Candidate struct {
+	User  int
+	Score float64
+}
+
+// better reports whether a ranks before b under the global selection
+// order: higher score first, ties to the smaller global id.
+func better(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.User < b.User
+}
+
+// worse is the heap order of the bounded top-K heap (worst candidate at
+// the root): the exact inverse of better.
+func worse(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.User > b.User
+}
+
+// Shard is one partition of the auxiliary world: the contiguous global id
+// range [Lo, Hi), the feature-store row-range view and induced UDA
+// subgraph backing it, and a scorer window whose aux-side caches cover
+// exactly this range.
+type Shard struct {
+	// Lo and Hi bound the shard's global auxiliary id range [Lo, Hi).
+	Lo, Hi int
+	// View is the shard's window of the auxiliary feature store. Zero when
+	// the world was built without a store (legacy pipelines).
+	View features.View
+	// Sub is the shard's induced UDA subgraph: shard-local topology plus
+	// attribute/post-vector views. For a single-shard world it is the full
+	// auxiliary UDA itself. Scoring never reads it (parity requires global
+	// values, which live in the scorer window); it is the shard's ownership
+	// surface for shard-local graph work — per-shard analytics and the
+	// planned shard-by-shard landmark refresh (see ROADMAP).
+	Sub *graph.UDA
+	// Scorer scores anonymized users against the shard's aux window
+	// (local index j = global user Lo+j). For a single-shard world it is
+	// the base scorer.
+	Scorer *similarity.Scorer
+}
+
+// NumUsers returns the shard's auxiliary population.
+func (sh *Shard) NumUsers() int { return sh.Hi - sh.Lo }
+
+// TopK streams the shard's scores of anonymized user u through a bounded
+// worst-first heap — O(shard size) time, O(k) memory — and returns the
+// shard's k best candidates with global auxiliary ids, sorted under the
+// global selection order. k is clamped to the shard size.
+func (sh *Shard) TopK(u, k int) []Candidate {
+	if n := sh.NumUsers(); k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []Candidate{}
+	}
+	h := make(candidateHeap, 0, k)
+	for j := 0; j < sh.Hi-sh.Lo; j++ {
+		c := Candidate{User: sh.Lo + j, Score: sh.Scorer.Score(u, j)}
+		if len(h) < k {
+			h = append(h, c)
+			h.up(len(h) - 1)
+		} else if worse(h[0], c) {
+			h[0] = c
+			h.down(0)
+		}
+	}
+	out := []Candidate(h)
+	sort.Slice(out, func(a, b int) bool { return better(out[a], out[b]) })
+	return out
+}
+
+// World is the shard router: the auxiliary world cut into contiguous
+// partitions sharing one flat feature matrix and one family of similarity
+// caches. A World is immutable and safe for concurrent queries; growth of
+// the anonymized side flows through the underlying scorer family's
+// SyncAnon, which the caller serializes against queries exactly as for an
+// unsharded scorer.
+type World struct {
+	shards []*Shard
+	// scanTokens bounds the helper goroutines that all concurrent
+	// QueryUser calls on this world (and every WithScorer derivative — the
+	// channel is shared) may have in flight at once, at GOMAXPROCS-1. A
+	// lone query fans out across all cores; when a caller-side pool (the
+	// serving flush, QueryBatch) already saturates the CPUs the tokens run
+	// dry and queries degrade to inline shard scans instead of stacking
+	// goroutines multiplicatively on the scheduler.
+	scanTokens chan struct{}
+}
+
+// Bounds returns the n+1 partition offsets that cut total users into n
+// contiguous ranges of near-equal size (shard i spans [Bounds[i],
+// Bounds[i+1])). n is clamped to [1, total] (with a floor of one shard for
+// an empty world), matching features.Store.Partition, so requesting more
+// shards than users degrades gracefully instead of minting empty shards.
+func Bounds(total, n int) []int {
+	if n > total {
+		n = total
+	}
+	if n < 1 {
+		n = 1
+	}
+	b := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		b[i] = i * total / n
+	}
+	return b
+}
+
+// New partitions the auxiliary world behind base into n contiguous shards
+// (n is clamped as Bounds documents). auxUDA is the full auxiliary UDA the
+// base scorer was built over; auxStore, when non-nil, supplies the
+// per-shard feature-store views. One shard wraps the base scorer and the
+// full UDA directly — the unsharded engine is literally the single-shard
+// world, which is what the sharded/unsharded parity tests pin.
+func New(base *similarity.Scorer, auxUDA *graph.UDA, auxStore *features.Store, n int) *World {
+	total := auxUDA.NumNodes()
+	if base.AuxUsers() != total {
+		panic(fmt.Sprintf("shard: scorer covers %d aux users, graph has %d", base.AuxUsers(), total))
+	}
+	bounds := Bounds(total, n)
+	m := len(bounds) - 1
+	w := &World{shards: make([]*Shard, m), scanTokens: newScanTokens()}
+	if m == 1 {
+		sh := &Shard{Lo: 0, Hi: total, Sub: auxUDA, Scorer: base}
+		if auxStore != nil {
+			sh.View = auxStore.Slice(0, total)
+		}
+		w.shards[0] = sh
+		return w
+	}
+	for i := 0; i < m; i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		sub := auxUDA.InducedRange(lo, hi)
+		sh := &Shard{Lo: lo, Hi: hi, Sub: sub, Scorer: base.Shard(sub, lo, hi)}
+		if auxStore != nil {
+			sh.View = auxStore.Slice(lo, hi)
+		}
+		w.shards[i] = sh
+	}
+	return w
+}
+
+// WithScorer re-derives every shard's scorer window from a re-weighted
+// base scorer, reusing the partition bounds, store views and induced
+// subgraphs — topology does not depend on the similarity configuration, so
+// re-configuring a sharded world costs O(shards) slice headers.
+func (w *World) WithScorer(base *similarity.Scorer) *World {
+	out := &World{shards: make([]*Shard, len(w.shards)), scanTokens: w.scanTokens}
+	for i, sh := range w.shards {
+		ns := &Shard{Lo: sh.Lo, Hi: sh.Hi, View: sh.View, Sub: sh.Sub, Scorer: base}
+		if len(w.shards) > 1 {
+			ns.Scorer = base.Shard(sh.Sub, sh.Lo, sh.Hi)
+		}
+		out.shards[i] = ns
+	}
+	return out
+}
+
+// N returns the shard count.
+func (w *World) N() int { return len(w.shards) }
+
+// Shards returns the shards in global id order (shared; treat as
+// read-only).
+func (w *World) Shards() []*Shard { return w.shards }
+
+// AuxUsers returns the total auxiliary population across shards.
+func (w *World) AuxUsers() int { return w.shards[len(w.shards)-1].Hi }
+
+// newScanTokens builds the world's helper-goroutine budget: GOMAXPROCS-1
+// tokens (a single-core machine gets none and every query scans inline).
+func newScanTokens() chan struct{} {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	t := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		t <- struct{}{}
+	}
+	return t
+}
+
+// QueryUser computes anonymized user u's global top-k by fanning the
+// single row out across shards and merging the per-shard results under the
+// global selection order. Helper workers are claimed from the world's
+// shared token budget (GOMAXPROCS-1): a standalone query parallelizes
+// across all cores, while queries arriving from an already-parallel caller
+// find no idle capacity and scan their shards inline — the fan-out adapts
+// to load instead of multiplying goroutines. The outcome is bit-identical
+// to the single-shard (unsharded) path either way: same candidate set,
+// same order, same scores.
+func (w *World) QueryUser(u, k int) []Candidate {
+	if len(w.shards) == 1 {
+		return w.shards[0].TopK(u, k)
+	}
+	parts := make([][]Candidate, len(w.shards))
+	var next int64
+	var wg sync.WaitGroup
+	scan := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= len(w.shards) {
+				return
+			}
+			parts[i] = w.shards[i].TopK(u, k)
+		}
+	}
+spawn:
+	for h := 0; h < len(w.shards)-1; h++ {
+		select {
+		case <-w.scanTokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { w.scanTokens <- struct{}{} }()
+				scan()
+			}()
+		default:
+			break spawn // no idle cores; the caller covers the rest
+		}
+	}
+	scan()
+	wg.Wait()
+	return mergeTopK(parts, k)
+}
+
+// queryInline is QueryUser with the shard scan run sequentially on the
+// calling goroutine — same merge, same result — used by QueryBatch, where
+// across-query parallelism already saturates the pool and per-query
+// fan-out would only add scheduling churn.
+func (w *World) queryInline(u, k int) []Candidate {
+	if len(w.shards) == 1 {
+		return w.shards[0].TopK(u, k)
+	}
+	parts := make([][]Candidate, len(w.shards))
+	for i, sh := range w.shards {
+		parts[i] = sh.TopK(u, k)
+	}
+	return mergeTopK(parts, k)
+}
+
+// QueryBatch answers one QueryUser per entry of users over a bounded
+// worker pool (workers <= 0 uses GOMAXPROCS). Results align with users by
+// index and are identical to len(users) independent QueryUser calls.
+func (w *World) QueryBatch(users []int, k, workers int) [][]Candidate {
+	out := make([][]Candidate, len(users))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers <= 1 {
+		for i, u := range users {
+			out[i] = w.QueryUser(u, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = w.queryInline(users[i], k)
+			}
+		}()
+	}
+	for i := range users {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// mergeTopK merges per-shard top-k lists into the global top-k under the
+// global selection order. Exact: every global top-k candidate appears in
+// its own shard's top-k, so sorting the union and truncating loses
+// nothing.
+func mergeTopK(parts [][]Candidate, k int) []Candidate {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	all := make([]Candidate, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(a, b int) bool { return better(all[a], all[b]) })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k:k]
+}
+
+// Route returns the home shard of an account name; see RouteName.
+func (w *World) Route(name string) int { return RouteName(name, len(w.shards)) }
+
+// RouteName hashes an (anonymized) account name to a home shard in
+// [0, n): a stable FNV-1a hash, independent of process, ingestion order
+// and world rebuilds, so re-preparing the same world routes the same
+// accounts to the same shards. The assignment feeds per-shard accounting
+// (stats) and keeps ingest routing deterministic; the ingested data itself
+// lands in the single anonymized store behind the dispatcher's one writer.
+func RouteName(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int(h.Sum64() % uint64(n))
+}
+
+// candidateHeap is a worst-first binary heap of candidates, the bounded
+// top-K accumulator of Shard.TopK.
+type candidateHeap []Candidate
+
+func (h candidateHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h candidateHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && worse(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && worse(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}

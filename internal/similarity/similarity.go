@@ -11,11 +11,13 @@
 package similarity
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
 	"dehealth/internal/graph"
+	"dehealth/internal/stylometry"
 )
 
 // Config carries the similarity weights and landmark count. The paper's
@@ -34,22 +36,48 @@ func DefaultConfig() Config {
 
 // Scorer computes similarities between users of an anonymized UDA graph G1
 // and an auxiliary UDA graph G2. Construction precomputes NCS vectors and
-// landmark closeness vectors for both sides.
+// landmark closeness vectors for both sides; the auxiliary side's degree,
+// weighted-degree and attribute reads are additionally frozen into dense
+// arrays (the aux world is immutable — only the anonymized side grows), so
+// the scoring hot loop touches precomputed state only.
+//
+// A Scorer can be windowed: Shard restricts the auxiliary side to a
+// contiguous global-id range whose caches are slice views of the base
+// scorer's arrays, scoring bit-identically to the base on that range. The
+// shard engine builds one window per partition so each shard walks its own
+// contiguous cache region.
 type Scorer struct {
 	cfg    Config
 	g1, g2 *graph.UDA
 	c      *scorerCaches
+	ax     *auxWindow
+	window bool // true when this scorer is a Shard view of a base scorer
 }
 
-// scorerCaches holds the precomputed per-node vectors. The struct is shared
-// by pointer across every scorer derived with Reweighted at the same
-// landmark count, so extending it for appended nodes (SyncAnon) updates the
-// whole family of scorers at once.
+// scorerCaches holds the precomputed anonymized-side per-node vectors. The
+// struct is shared by pointer across every scorer derived with Reweighted
+// or Shard at the same landmark count, so extending it for appended nodes
+// (SyncAnon) updates the whole family of scorers — including every shard
+// window — at once.
 type scorerCaches struct {
-	landmarks1     []int // anon-side landmark nodes, pinned at construction
-	ncs1, ncs2     [][]float64
-	close1, close2 [][]float64 // hop-closeness vectors, ħ dims
-	wcl1, wcl2     [][]float64 // weighted-closeness vectors, ħ dims
+	landmarks1 []int // anon-side landmark nodes, pinned at construction
+	ncs1       [][]float64
+	close1     [][]float64 // hop-closeness vectors, ħ dims
+	wcl1       [][]float64 // weighted-closeness vectors, ħ dims
+}
+
+// auxWindow is the auxiliary-side scoring state: per-node degree,
+// weighted degree, attribute set, NCS and landmark-closeness vectors,
+// frozen at construction from the full auxiliary graph (global landmarks,
+// global degrees). A base scorer holds the full window; shard scorers hold
+// contiguous slice views of the same arrays, so the values a shard scores
+// against are exactly the global ones — the property the sharded/unsharded
+// parity guarantee rests on.
+type auxWindow struct {
+	deg, wdeg  []float64
+	attrs      []stylometry.AttrSet
+	ncs        [][]float64
+	close, wcl [][]float64 // hop / weighted closeness, ħ dims
 }
 
 // NewScorer builds a Scorer over the two UDA graphs.
@@ -57,26 +85,80 @@ func NewScorer(g1, g2 *graph.UDA, cfg Config) *Scorer {
 	c := &scorerCaches{
 		landmarks1: g1.TopDegreeNodes(cfg.Landmarks),
 		ncs1:       cacheNCS(g1),
-		ncs2:       cacheNCS(g2),
 	}
 	c.close1, c.wcl1 = landmarkCloseness(g1, c.landmarks1)
-	c.close2, c.wcl2 = landmarkCloseness(g2, g2.TopDegreeNodes(cfg.Landmarks))
-	return &Scorer{cfg: cfg, g1: g1, g2: g2, c: c}
+
+	n2 := g2.NumNodes()
+	ax := &auxWindow{
+		deg:   make([]float64, n2),
+		wdeg:  make([]float64, n2),
+		attrs: g2.Attrs,
+		ncs:   cacheNCS(g2),
+	}
+	for v := 0; v < n2; v++ {
+		ax.deg[v] = float64(g2.Degree(v))
+		ax.wdeg[v] = g2.WeightedDegree(v)
+	}
+	ax.close, ax.wcl = landmarkCloseness(g2, g2.TopDegreeNodes(cfg.Landmarks))
+	return &Scorer{cfg: cfg, g1: g1, g2: g2, c: c, ax: ax}
 }
 
 // Reweighted returns a scorer over the same graphs under a new Config. When
 // the landmark count is unchanged the precomputed NCS and landmark-closeness
 // caches are shared by pointer (the returned scorer only re-weights the
 // three components at Score time); otherwise the landmark vectors are
-// recomputed.
+// recomputed. A shard window cannot change its landmark count — its caches
+// are views of the base scorer's — so reweight the base and re-shard
+// instead; Reweighted panics on that misuse rather than silently scoring
+// against subgraph landmarks.
 func (s *Scorer) Reweighted(cfg Config) *Scorer {
 	if cfg.Landmarks == s.cfg.Landmarks {
 		t := *s
 		t.cfg = cfg
 		return &t
 	}
+	if s.window {
+		panic("similarity: Reweighted with a new landmark count on a shard window; reweight the base scorer and re-shard")
+	}
 	return NewScorer(s.g1, s.g2, cfg)
 }
+
+// Shard returns a scorer restricted to the auxiliary window [lo, hi):
+// local index j of the returned scorer addresses global auxiliary user
+// lo+j, and Score(u, j) is bit-identical to s.Score(u, lo+j) — every
+// aux-side cache of the window is a slice view of the base scorer's
+// arrays, so no similarity component is recomputed from partial topology.
+// sub, the shard's induced UDA subgraph, becomes the window's G2 for
+// shard-local graph access; it plays no part in scoring. The anonymized
+// side is shared by pointer, so SyncAnon through any family member extends
+// every window. Shard must be called on a base (unwindowed) scorer.
+func (s *Scorer) Shard(sub *graph.UDA, lo, hi int) *Scorer {
+	if s.window {
+		panic("similarity: Shard of a shard window; shard the base scorer")
+	}
+	if lo < 0 || hi > len(s.ax.deg) || lo > hi {
+		panic(fmt.Sprintf("similarity: Shard [%d, %d) out of [0, %d)", lo, hi, len(s.ax.deg)))
+	}
+	t := *s
+	t.window = true
+	if sub != nil {
+		t.g2 = sub
+	}
+	t.ax = &auxWindow{
+		deg:   s.ax.deg[lo:hi:hi],
+		wdeg:  s.ax.wdeg[lo:hi:hi],
+		attrs: s.ax.attrs[lo:hi:hi],
+		ncs:   s.ax.ncs[lo:hi:hi],
+		close: s.ax.close[lo:hi:hi],
+		wcl:   s.ax.wcl[lo:hi:hi],
+	}
+	return &t
+}
+
+// AuxUsers returns the number of auxiliary users the scorer scores
+// against: the full population for a base scorer, the window size for a
+// shard window.
+func (s *Scorer) AuxUsers() int { return len(s.ax.deg) }
 
 // SyncAnon extends the anonymized-side caches over nodes appended to G1
 // after the scorer was built (features.Store.Append): each new node gets
@@ -197,16 +279,19 @@ func ratioSim(a, b float64) float64 {
 }
 
 // DegreeSim computes s^d_uv = min(d)/max(d) + min(wd)/max(wd) + cos(NCS).
+// v is a window-local auxiliary index; the aux-side degree reads come from
+// the frozen window arrays (value-identical to live graph reads: the aux
+// graph never mutates).
 func (s *Scorer) DegreeSim(u, v int) float64 {
-	d := ratioSim(float64(s.g1.Degree(u)), float64(s.g2.Degree(v)))
-	wd := ratioSim(s.g1.WeightedDegree(u), s.g2.WeightedDegree(v))
-	return d + wd + Cosine(s.c.ncs1[u], s.c.ncs2[v])
+	d := ratioSim(float64(s.g1.Degree(u)), s.ax.deg[v])
+	wd := ratioSim(s.g1.WeightedDegree(u), s.ax.wdeg[v])
+	return d + wd + Cosine(s.c.ncs1[u], s.ax.ncs[v])
 }
 
 // DistanceSim computes s^s_uv = cos(H_u(S1), H_v(S2)) + cos(WH_u(S1),
 // WH_v(S2)) over landmark closeness vectors.
 func (s *Scorer) DistanceSim(u, v int) float64 {
-	return Cosine(s.c.close1[u], s.c.close2[v]) + Cosine(s.c.wcl1[u], s.c.wcl2[v])
+	return Cosine(s.c.close1[u], s.ax.close[v]) + Cosine(s.c.wcl1[u], s.ax.wcl[v])
 }
 
 // AttrSim computes s^a_uv = Jaccard(A(u), A(v)) + WeightedJaccard(WA(u),
@@ -216,7 +301,7 @@ func (s *Scorer) AttrSim(u, v int) float64 {
 }
 
 func jaccard(s *Scorer, u, v int) float64 {
-	return jaccardSets(s.g1.Attrs[u].Idx, s.g2.Attrs[v].Idx)
+	return jaccardSets(s.g1.Attrs[u].Idx, s.ax.attrs[v].Idx)
 }
 
 func jaccardSets(a, b []int) float64 {
@@ -241,7 +326,7 @@ func jaccardSets(a, b []int) float64 {
 }
 
 func weightedJaccard(s *Scorer, u, v int) float64 {
-	au, av := s.g1.Attrs[u], s.g2.Attrs[v]
+	au, av := s.g1.Attrs[u], s.ax.attrs[v]
 	var inter, union int
 	i, j := 0, 0
 	for i < len(au.Idx) && j < len(av.Idx) {
@@ -282,9 +367,10 @@ func (s *Scorer) Score(u, v int) float64 {
 	return s.cfg.C1*s.DegreeSim(u, v) + s.cfg.C2*s.DistanceSim(u, v) + s.cfg.C3*s.AttrSim(u, v)
 }
 
-// ScoreMatrix computes the full |V1| × |V2| similarity matrix in parallel.
+// ScoreMatrix computes the full |V1| × |V2| similarity matrix in parallel
+// (|V2| is the window size on a shard window).
 func (s *Scorer) ScoreMatrix() [][]float64 {
-	n1, n2 := s.g1.NumNodes(), s.g2.NumNodes()
+	n1, n2 := s.g1.NumNodes(), s.AuxUsers()
 	out := make([][]float64, n1)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n1 {
@@ -323,14 +409,18 @@ func (s *Scorer) ScoreMatrix() [][]float64 {
 // entries. side selects the graph: 1 = anonymized, 2 = auxiliary.
 func (s *Scorer) StructuralVector(side, u int) []float64 {
 	var (
-		g   *graph.UDA
-		ncs []float64
-		cl  []float64
+		deg, wdeg float64
+		attrs     stylometry.AttrSet
+		ncs, cl   []float64
 	)
 	if side == 2 {
-		g, ncs, cl = s.g2, s.c.ncs2[u], s.c.close2[u]
+		deg, wdeg = s.ax.deg[u], s.ax.wdeg[u]
+		attrs = s.ax.attrs[u]
+		ncs, cl = s.ax.ncs[u], s.ax.close[u]
 	} else {
-		g, ncs, cl = s.g1, s.c.ncs1[u], s.c.close1[u]
+		deg, wdeg = float64(s.g1.Degree(u)), s.g1.WeightedDegree(u)
+		attrs = s.g1.Attrs[u]
+		ncs, cl = s.c.ncs1[u], s.c.close1[u]
 	}
 	var maxN, sumN float64
 	for _, x := range ncs {
@@ -344,12 +434,12 @@ func (s *Scorer) StructuralVector(side, u int) []float64 {
 		meanN = sumN / float64(len(ncs))
 	}
 	out := []float64{
-		float64(g.Degree(u)),
-		g.WeightedDegree(u),
+		deg,
+		wdeg,
 		maxN,
 		meanN,
-		float64(g.Attrs[u].Len()),
-		float64(g.Attrs[u].TotalWeight()),
+		float64(attrs.Len()),
+		float64(attrs.TotalWeight()),
 	}
 	out = append(out, cl...)
 	return out

@@ -217,3 +217,100 @@ func TestSyncAnonMatchesRebuild(t *testing.T) {
 		}
 	}
 }
+
+// TestShardWindowParity proves a shard window scores bit-identically to
+// the base scorer on its range — Score and every component — for every
+// window of a small world, including one- and zero-width windows.
+func TestShardWindowParity(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2})
+	n2 := g2.NumNodes()
+	for lo := 0; lo <= n2; lo++ {
+		for hi := lo; hi <= n2; hi++ {
+			w := s.Shard(g2.InducedRange(lo, hi), lo, hi)
+			if w.AuxUsers() != hi-lo {
+				t.Fatalf("window [%d, %d) has %d aux users", lo, hi, w.AuxUsers())
+			}
+			for u := 0; u < g1.NumNodes(); u++ {
+				for j := 0; j < hi-lo; j++ {
+					v := lo + j
+					if got, want := w.Score(u, j), s.Score(u, v); got != want {
+						t.Fatalf("window [%d,%d): Score(%d,%d) = %v, want %v", lo, hi, u, j, got, want)
+					}
+					if w.DegreeSim(u, j) != s.DegreeSim(u, v) ||
+						w.DistanceSim(u, j) != s.DistanceSim(u, v) ||
+						w.AttrSim(u, j) != s.AttrSim(u, v) {
+						t.Fatalf("window [%d,%d): component mismatch at (%d,%d)", lo, hi, u, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardWindowStructuralVector checks side-2 structural vectors read
+// through the window with global values.
+func TestShardWindowStructuralVector(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2})
+	w := s.Shard(g2.InducedRange(1, 3), 1, 3)
+	for j := 0; j < 2; j++ {
+		got, want := w.StructuralVector(2, j), s.StructuralVector(2, 1+j)
+		if len(got) != len(want) {
+			t.Fatalf("vector lengths %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("local %d dim %d: %v != %v", j, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardWindowSeesSyncAnon appends an anonymized node after windows
+// were derived and checks SyncAnon through the base extends every window
+// (the anon-side caches are shared by pointer).
+func TestShardWindowSeesSyncAnon(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2})
+	w := s.Shard(g2.InducedRange(2, 4), 2, 4)
+
+	ex := stylometry.New()
+	vecs := ex.ExtractAll([]string{"a freshly ingested account posting about headaches"})
+	u := g1.AppendNode(stylometry.UserAttributes(vecs), vecs)
+	g1.AddEdge(u, 0, 1)
+	if added := s.SyncAnon(); added != 1 {
+		t.Fatalf("SyncAnon added %d, want 1", added)
+	}
+	for j := 0; j < 2; j++ {
+		if got, want := w.Score(u, j), s.Score(u, 2+j); got != want {
+			t.Fatalf("window score of appended user: %v, want %v", got, want)
+		}
+	}
+}
+
+// TestShardWindowGuards pins the misuse panics: sharding a shard, and
+// reweighting a window to a different landmark count.
+func TestShardWindowGuards(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2})
+	w := s.Shard(nil, 0, 2)
+
+	// Same-landmark reweight of a window is fine and stays windowed.
+	rw := w.Reweighted(Config{C1: 1, C2: 0, C3: 0, Landmarks: 2})
+	if rw.AuxUsers() != 2 {
+		t.Fatalf("reweighted window has %d aux users, want 2", rw.AuxUsers())
+	}
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Shard of a shard", func() { w.Shard(nil, 0, 1) })
+	mustPanic("landmark reweight of a window", func() { w.Reweighted(Config{C1: 1, Landmarks: 3}) })
+	mustPanic("out-of-range window", func() { s.Shard(nil, 2, 9) })
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dehealth/internal/corpus"
 )
 
 // servingWorld prepares a small closed-world split for online tests.
@@ -186,5 +188,167 @@ func TestServeConcurrentQueryIngest(t *testing.T) {
 	anon1, _ := pw.Sizes()
 	if want := anon0 + ingesters*perWorker; anon1 != want {
 		t.Fatalf("anon users after ingest storm: %d, want %d", anon1, want)
+	}
+}
+
+// TestShardedPreparedWorldParity proves Options.Shards is invisible in
+// results: a sharded prepared world answers QueryUser/QueryBatch with
+// bit-identical candidates to an unsharded world over the same datasets,
+// including for users ingested after preparation.
+func TestShardedPreparedWorldParity(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxBigrams = 50
+	opt.Landmarks = 5
+
+	// Each world gets its own (identically seeded) copy of the datasets:
+	// ingestion grows the anonymized dataset in place, so two prepared
+	// worlds must not alias one underlying corpus.
+	mkSplit := func() *Split {
+		w := GenerateWorld(WorldConfig{WebMDUsers: 28, HBUsers: 28, Seed: 931})
+		return SplitClosedWorld(w.WebMD, 0.5, 932)
+	}
+	flatSplit, shardSplit := mkSplit(), mkSplit()
+	flat := PrepareWorld(flatSplit.Anon, flatSplit.Aux, opt)
+	shardedOpt := opt
+	shardedOpt.Shards = 4
+	sharded := PrepareWorld(shardSplit.Anon, shardSplit.Aux, shardedOpt)
+
+	ingest := []UserPosts{
+		{User: corpus.User{Name: "late-arrival", TrueIdentity: -1}, Posts: []IngestPost{
+			{Thread: 0, Text: "the new medication finally started working for me"},
+		}},
+	}
+	if _, err := flat.Ingest(ingest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.Ingest(ingest); err != nil {
+		t.Fatal(err)
+	}
+
+	anon, _ := flat.Sizes()
+	if a2, _ := sharded.Sizes(); a2 != anon {
+		t.Fatalf("world sizes diverged: %d vs %d", a2, anon)
+	}
+	users := make([]int, anon)
+	for i := range users {
+		users[i] = i
+	}
+	flatBatch, err := flat.QueryBatch(users, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardBatch, err := sharded.QueryBatch(users, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < anon; u++ {
+		single, err := sharded.QueryUser(u, 6, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range flatBatch[u] {
+			if single[i] != flatBatch[u][i] || shardBatch[u][i] != flatBatch[u][i] {
+				t.Fatalf("user %d candidate %d: sharded %+v / batch %+v, want %+v",
+					u, i, single[i], shardBatch[u][i], flatBatch[u][i])
+			}
+		}
+	}
+}
+
+// TestShardSizesStats checks ShardSizes tiles the world exactly and that
+// /v1/stats surfaces the same breakdown.
+func TestShardSizesStats(t *testing.T) {
+	pw := servingWorldSharded(t, 26, 941, 3)
+	anon, aux := pw.Sizes()
+	sizes := pw.ShardSizes()
+	if len(sizes) != 3 {
+		t.Fatalf("got %d shards, want 3", len(sizes))
+	}
+	sumAux, sumAnon := 0, 0
+	for i, s := range sizes {
+		if s.Shard != i {
+			t.Fatalf("shard ids out of order: %+v", sizes)
+		}
+		sumAux += s.AuxUsers
+		sumAnon += s.AnonUsers
+	}
+	if sumAux != aux || sumAnon != anon {
+		t.Fatalf("shard sums (%d, %d) != aggregate (%d, %d)", sumAnon, sumAux, anon, aux)
+	}
+
+	opt := DefaultOptions()
+	opt.Landmarks = 5
+	srv := NewServer(pw, ServeOptions{FlushInterval: time.Millisecond, K: 5, Attack: opt})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		AnonUsers int `json:"anon_users"`
+		AuxUsers  int `json:"aux_users"`
+		Shards    []struct {
+			Shard     int `json:"shard"`
+			AuxUsers  int `json:"aux_users"`
+			AnonUsers int `json:"anon_users"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != len(sizes) {
+		t.Fatalf("stats shards %d, want %d", len(st.Shards), len(sizes))
+	}
+	for i, s := range st.Shards {
+		if s.Shard != sizes[i].Shard || s.AuxUsers != sizes[i].AuxUsers || s.AnonUsers != sizes[i].AnonUsers {
+			t.Fatalf("stats shard %d = %+v, want %+v", i, s, sizes[i])
+		}
+	}
+}
+
+// servingWorldSharded is servingWorld with a shard count.
+func servingWorldSharded(t *testing.T, users int, seed int64, shards int) *PreparedWorld {
+	t.Helper()
+	w := GenerateWorld(WorldConfig{WebMDUsers: users, HBUsers: users, Seed: seed})
+	split := SplitClosedWorld(w.WebMD, 0.5, seed+1)
+	opt := DefaultOptions()
+	opt.MaxBigrams = 50
+	opt.Shards = shards
+	return PrepareWorld(split.Anon, split.Aux, opt)
+}
+
+// TestIngestRoutingStableAcrossRestarts pins the restart guarantee: two
+// independently prepared copies of the same world, growing through the
+// same ingested account names (in different arrival orders), report
+// identical per-shard anonymized counts — the home-shard hash depends only
+// on the name and shard count.
+func TestIngestRoutingStableAcrossRestarts(t *testing.T) {
+	mk := func() *PreparedWorld { return servingWorldSharded(t, 22, 951, 4) }
+	a, b := mk(), mk()
+
+	names := []string{"drifter-17", "sleepless", "anon9000", "jdoe", "qu1et", "zebra-fish"}
+	// World a ingests in order; world b in reverse — a "restart" that saw
+	// the same accounts arrive differently.
+	for _, n := range names {
+		if _, err := a.IngestUser(n, []IngestPost{{Thread: 0, Text: "same post body for " + n}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		if _, err := b.IngestUser(names[i], []IngestPost{{Thread: 0, Text: "same post body for " + names[i]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, sb := a.ShardSizes(), b.ShardSizes()
+	if len(sa) != len(sb) {
+		t.Fatalf("shard counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("shard %d diverged across restarts: %+v vs %+v", i, sa[i], sb[i])
+		}
 	}
 }
