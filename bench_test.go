@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,8 +23,11 @@ import (
 	"dehealth/internal/core"
 	"dehealth/internal/eval"
 	"dehealth/internal/features"
+	"dehealth/internal/index"
+	"dehealth/internal/shard"
 	"dehealth/internal/similarity"
 	"dehealth/internal/stylometry"
+	"dehealth/internal/synth"
 )
 
 // benchScale is the corpus scale used by the figure benchmarks.
@@ -386,18 +390,127 @@ func BenchmarkQueryUserSharded(b *testing.B) {
 	if base := qps["shards-1"]; base > 0 {
 		speedup = qps[fmt.Sprintf("shards-%d", counts[len(counts)-1])] / base
 	}
+	// On a single-core environment the fan-out/merge path cannot win —
+	// both modes do the same scoring work and the sharded one adds merge
+	// overhead, so ~0.95x is the expected reading, not a regression. Label
+	// the artifact so the number is interpretable without the runner's
+	// specs at hand (see README "Scaling out").
+	singleCore := runtime.GOMAXPROCS(0) == 1
+	interpretation := "multi-core: speedup is the parallel fan-out/merge win over the single-shard scan"
+	if singleCore {
+		interpretation = "single-core environment: no parallelism is available, so speedup ~<=1.0x measures fan-out/merge overhead only; run on a multi-core machine to measure the sharding win"
+	}
 	summary := map[string]any{
-		"benchmark":  "sharding",
-		"generated":  time.Now().UTC().Format(time.RFC3339),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"world":      map[string]int{"anon_users": split.Anon.NumUsers(), "aux_users": split.Aux.NumUsers()},
-		"qps":        qps,
-		"speedup":    speedup,
-		"baseline":   "shards-1 is the PR 2 single-shard bounded-heap query engine",
+		"benchmark":      "sharding",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"single_core":    singleCore,
+		"interpretation": interpretation,
+		"world":          map[string]int{"anon_users": split.Anon.NumUsers(), "aux_users": split.Aux.NumUsers()},
+		"qps":            qps,
+		"speedup":        speedup,
+		"baseline":       "shards-1 is the PR 2 single-shard bounded-heap query engine",
 	}
 	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
 		if err := os.WriteFile("BENCH_sharding.json", append(buf, '\n'), 0o644); err != nil {
 			b.Logf("writing BENCH_sharding.json: %v", err)
+		}
+	}
+}
+
+// BenchmarkQueryUserPruned measures the candidate-pruned single-row query
+// path against the full per-shard scan it avoids, on a synthetic aux
+// world with sparse attribute overlap, and writes a BENCH_prune.json
+// summary: per-mode qps, the speedup, the candidate-set size distribution
+// and the pruning counters. Parity is asserted inline — the pruned
+// candidates must be bit-identical to the full scan — so the artifact can
+// never report a speedup obtained by changing results.
+func BenchmarkQueryUserPruned(b *testing.B) {
+	const (
+		auxUsers  = 4000
+		anonUsers = 150
+		community = 40
+		attrDim   = 512
+	)
+	g1 := synth.SparseAttrUDA(anonUsers, community, attrDim, 1201)
+	g2 := synth.SparseAttrUDA(auxUsers, community, attrDim, 1202)
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+	base := similarity.NewScorer(g1, g2, cfg)
+	full := shard.New(base, g2, nil, 1)
+	st := &index.Stats{}
+	pruned := shard.New(base, g2, nil, 1).WithPruning(index.Config{}, st)
+
+	// Candidate-set size distribution over every anonymized user.
+	x := pruned.Shards()[0].Index
+	sizes := make([]int, anonUsers)
+	for u := 0; u < anonUsers; u++ {
+		sizes[u] = x.CandidateCount(base.AnonAttrs(u))
+	}
+	sort.Ints(sizes)
+	pct := func(p float64) int { return sizes[int(p*float64(len(sizes)-1))] }
+
+	for u := 0; u < anonUsers; u += 17 { // parity spot-check, off the timer
+		got, want := pruned.QueryUser(u, 10), full.QueryUser(u, 10)
+		if len(got) != len(want) {
+			b.Fatalf("user %d: pruned %d candidates, full %d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				b.Fatalf("user %d candidate %d: pruned %+v, full %+v", u, i, got[i], want[i])
+			}
+		}
+	}
+
+	qps := map[string]float64{}
+	for _, mode := range []struct {
+		name  string
+		world *shard.World
+	}{
+		{"full-scan", full},
+		{"pruned", pruned},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				mode.world.QueryUser(i%anonUsers, 10)
+			}
+			rate := float64(b.N) / time.Since(start).Seconds()
+			b.ReportMetric(rate, "qps")
+			if prev, ok := qps[mode.name]; !ok || rate > prev {
+				qps[mode.name] = rate
+			}
+		})
+	}
+
+	speedup := 0.0
+	if qps["full-scan"] > 0 {
+		speedup = qps["pruned"] / qps["full-scan"]
+	}
+	stats := st.Snapshot()
+	summary := map[string]any{
+		"benchmark":  "prune",
+		"generated":  time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"world": map[string]int{
+			"anon_users": anonUsers, "aux_users": auxUsers,
+			"attr_dim": attrDim, "community": community,
+		},
+		"qps":     qps,
+		"speedup": speedup,
+		"candidate_set_size": map[string]any{
+			"min": sizes[0], "p50": pct(0.5), "p90": pct(0.9), "max": sizes[len(sizes)-1],
+			"aux_users": auxUsers,
+		},
+		"prune_counters": map[string]int64{
+			"queries": stats.Queries, "fallbacks": stats.Fallbacks,
+			"candidates": stats.Candidates, "scanned": stats.Scanned, "skipped": stats.Skipped,
+		},
+		"baseline": "full-scan is the per-shard bounded-heap scan over every aux user; pruned rescoring is guaranteed bit-identical (fallback on uncertifiable top-K)",
+	}
+	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_prune.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_prune.json: %v", err)
 		}
 	}
 }

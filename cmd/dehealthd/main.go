@@ -9,7 +9,7 @@
 //	dehealthd -aux aux.json                          # start with an empty anonymized side
 //	dehealthd -aux aux.json -anon anon.json          # preload known anonymized accounts
 //	dehealthd -synth 300                             # demo mode: synthetic auxiliary world
-//	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2 -shards 8
+//	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2 -shards 8 -prune
 //
 // API:
 //
@@ -38,6 +38,7 @@ func main() {
 		synth   = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
 		workers = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
 		shards  = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
+		prune   = flag.Bool("prune", false, "candidate-pruned queries via per-shard attribute inverted indexes (results identical; see /v1/stats prune counters)")
 		batch   = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
 		flushMS = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")
 		k       = flag.Int("k", 10, "default Top-K candidate set size")
@@ -79,9 +80,14 @@ func main() {
 	if opt.Shards <= 0 {
 		opt.Shards = runtime.NumCPU()
 	}
+	opt.Prune = *prune
 
-	log.Printf("dehealthd: preparing world (aux %d users / %d posts, anon %d users, %d shards)...",
-		aux.NumUsers(), aux.NumPosts(), anonDS.NumUsers(), opt.Shards)
+	pruneNote := ""
+	if opt.Prune {
+		pruneNote = ", pruned"
+	}
+	log.Printf("dehealthd: preparing world (aux %d users / %d posts, anon %d users, %d shards%s)...",
+		aux.NumUsers(), aux.NumPosts(), anonDS.NumUsers(), opt.Shards, pruneNote)
 	pw := dehealth.PrepareWorld(anonDS, aux, opt)
 	log.Printf("dehealthd: listening on %s (batch %d, flush %dms, k %d)", *addr, *batch, *flushMS, *k)
 	if err := dehealth.Serve(pw, dehealth.ServeOptions{

@@ -55,6 +55,7 @@ import (
 	"dehealth/internal/core"
 	"dehealth/internal/corpus"
 	"dehealth/internal/features"
+	"dehealth/internal/index"
 	"dehealth/internal/linkage"
 	"dehealth/internal/ml"
 	"dehealth/internal/serve"
@@ -186,6 +187,15 @@ type Options struct {
 	// Attack/Query call. <= 1 disables sharding; counts beyond the
 	// auxiliary population are clamped.
 	Shards int
+	// Prune enables candidate-pruned queries: each shard builds an
+	// attribute inverted index (plus degree bands) over its auxiliary
+	// window, QueryUser gathers only the query user's attribute-overlap
+	// candidates and exact-rescores them, and zero-overlap users are
+	// skipped whenever a structural score bound proves they cannot enter
+	// the top-K — falling back to the full scan otherwise, so results are
+	// always bit-identical to Prune=false. Consulted by PrepareWorld, not
+	// per call; see PreparedWorld.PruneStats for the observed effect.
+	Prune bool
 	// Seed drives all randomized components.
 	Seed int64
 }
@@ -290,6 +300,9 @@ type PreparedWorld struct {
 
 	anonStore, auxStore *features.Store
 	shards              int
+	// pruneStats, when non-nil, enables candidate pruning on every derived
+	// pipeline; all of them accumulate into this one shared counter block.
+	pruneStats *index.Stats
 
 	// world serializes growth of the anonymized side (Ingest) against
 	// everything that reads the stores (queries, attacks).
@@ -301,21 +314,25 @@ type PreparedWorld struct {
 
 // PrepareWorld extracts the feature store of the dataset pair once, using
 // opt.MaxBigrams for the POS-bigram block (fitted on aux, the adversary's
-// data), opt.Workers extraction workers and opt.Shards auxiliary scoring
-// shards. The remaining Options fields are ignored here; pass them to
-// (*PreparedWorld).Attack.
+// data), opt.Workers extraction workers, opt.Shards auxiliary scoring
+// shards and opt.Prune candidate pruning. The remaining Options fields are
+// ignored here; pass them to (*PreparedWorld).Attack.
 func PrepareWorld(anon, aux *Dataset, opt Options) *PreparedWorld {
 	anonS, auxS := features.BuildPair(anon, aux, opt.MaxBigrams, features.Options{Workers: opt.Workers})
 	shards := opt.Shards
 	if shards < 1 {
 		shards = 1
 	}
-	return &PreparedWorld{
+	w := &PreparedWorld{
 		Anon: anon, Aux: aux,
 		anonStore: anonS, auxStore: auxS,
 		shards:    shards,
 		pipelines: map[similarity.Config]*core.Pipeline{},
 	}
+	if opt.Prune {
+		w.pruneStats = &index.Stats{}
+	}
+	return w
 }
 
 // pipeline returns the cached pipeline for cfg, deriving it from an
@@ -335,6 +352,12 @@ func (w *PreparedWorld) pipeline(cfg similarity.Config) *core.Pipeline {
 		}
 	}
 	p := core.NewShardedPipelineFromStore(w.anonStore, w.auxStore, cfg, w.shards)
+	if w.pruneStats != nil {
+		// Every pruned pipeline of this world shares one counter block;
+		// WithSimilarity-derived pipelines inherit pruning (and the block)
+		// from their parent above.
+		p = p.Pruned(index.Config{}, w.pruneStats)
+	}
 	w.pipelines[cfg] = p
 	return p
 }
@@ -440,6 +463,47 @@ func (w *PreparedWorld) ShardSizes() []ShardSize {
 		out[shard.RouteName(u.Name, n)].AnonUsers++
 	}
 	return out
+}
+
+// PruneStats reports the cumulative effect of candidate pruning
+// (Options.Prune) across every query served by this world. Counters are
+// per shard-query: a QueryUser over an N-shard world contributes N to
+// Queries. Pruned results are always bit-identical to unpruned ones — the
+// counters only describe how much scanning the index saved.
+type PruneStats struct {
+	// Enabled reports whether the world was prepared with Options.Prune.
+	Enabled bool
+	// Queries counts pruned-path shard queries.
+	Queries int64
+	// Fallbacks counts shard queries that fell back to the full window
+	// scan (candidate set too large for the prune bound to pay off).
+	Fallbacks int64
+	// Candidates sums candidate-set sizes (attribute-overlap users that
+	// were exact-rescored) over non-fallback queries.
+	Candidates int64
+	// Scanned sums zero-overlap users exact-scored anyway because their
+	// degree band's structural bound could not certify skipping them.
+	Scanned int64
+	// Skipped sums users never scored: the structural bound proved they
+	// cannot enter the top-K.
+	Skipped int64
+}
+
+// PruneStats snapshots the world's pruning counters; the zero value (with
+// Enabled false) when the world was prepared without Options.Prune.
+func (w *PreparedWorld) PruneStats() PruneStats {
+	if w.pruneStats == nil {
+		return PruneStats{}
+	}
+	s := w.pruneStats.Snapshot()
+	return PruneStats{
+		Enabled:    true,
+		Queries:    s.Queries,
+		Fallbacks:  s.Fallbacks,
+		Candidates: s.Candidates,
+		Scanned:    s.Scanned,
+		Skipped:    s.Skipped,
+	}
 }
 
 // QueryUser returns anonymized user u's top-k auxiliary candidates in
@@ -602,6 +666,16 @@ func (b serveBackend) QueryUser(u, k int) ([]Candidate, error) {
 	return b.w.QueryUser(u, k, b.opt)
 }
 func (b serveBackend) Sizes() (int, int) { return b.w.Sizes() }
+func (b serveBackend) PruneCounters() (serve.PruneCounters, bool) {
+	s := b.w.PruneStats()
+	return serve.PruneCounters{
+		Queries:    s.Queries,
+		Fallbacks:  s.Fallbacks,
+		Candidates: s.Candidates,
+		Scanned:    s.Scanned,
+		Skipped:    s.Skipped,
+	}, s.Enabled
+}
 func (b serveBackend) ShardSizes() []serve.ShardCount {
 	sizes := b.w.ShardSizes()
 	out := make([]serve.ShardCount, len(sizes))

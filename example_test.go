@@ -1,0 +1,96 @@
+package dehealth_test
+
+import (
+	"fmt"
+	"log"
+
+	"dehealth"
+)
+
+// ExamplePrepareWorld shows the extract-once/attack-many pattern: one
+// feature-store preparation fans any number of attack configurations out
+// over the same cached artifacts.
+func ExamplePrepareWorld() {
+	world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: 24, HBUsers: 24, Seed: 1})
+	split := dehealth.SplitClosedWorld(world.WebMD, 0.5, 7)
+
+	opt := dehealth.DefaultOptions()
+	opt.MaxBigrams = 50 // keep the example fast
+	opt.Landmarks = 5
+	pw := dehealth.PrepareWorld(split.Anon, split.Aux, opt)
+	anon, _ := pw.Sizes()
+
+	// Sweep the candidate-set size K without re-extracting anything.
+	for _, k := range []int{2, 5} {
+		cfg := opt
+		cfg.K = k
+		cfg.Classifier = dehealth.KNN
+		res, err := pw.Attack(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("K=%d: one candidate set per anonymized user: %v, each of size %d\n",
+			k, len(res.TopK.Candidates) == anon, len(res.TopK.Candidates[0]))
+	}
+	// Output:
+	// K=2: one candidate set per anonymized user: true, each of size 2
+	// K=5: one candidate set per anonymized user: true, each of size 5
+}
+
+// ExamplePreparedWorld_QueryUser serves a single-user query — the online
+// hot path — and shows that k bounds the candidate set.
+func ExamplePreparedWorld_QueryUser() {
+	world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: 24, HBUsers: 24, Seed: 2})
+	split := dehealth.SplitClosedWorld(world.WebMD, 0.5, 9)
+
+	opt := dehealth.DefaultOptions()
+	opt.MaxBigrams = 50
+	opt.Landmarks = 5
+	opt.Shards = 2   // partition-parallel scoring ...
+	opt.Prune = true // ... with candidate pruning; results are identical either way
+	pw := dehealth.PrepareWorld(split.Anon, split.Aux, opt)
+
+	candidates, err := pw.QueryUser(0, 3, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user 0: %d candidates\n", len(candidates))
+	fmt.Printf("sorted by score: %v\n", candidates[0].Score >= candidates[1].Score)
+	// Output:
+	// user 0: 3 candidates
+	// sorted by score: true
+}
+
+// ExamplePreparedWorld_Ingest grows a live world with a newly observed
+// anonymous account and immediately queries it.
+func ExamplePreparedWorld_Ingest() {
+	world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: 24, HBUsers: 24, Seed: 3})
+	split := dehealth.SplitClosedWorld(world.WebMD, 0.5, 11)
+
+	opt := dehealth.DefaultOptions()
+	opt.MaxBigrams = 50
+	opt.Landmarks = 5
+	pw := dehealth.PrepareWorld(split.Anon, split.Aux, opt)
+	before, _ := pw.Sizes()
+
+	id, err := pw.IngestUser("jdoe", []dehealth.IngestPost{
+		{Thread: 0, Text: "my migraines got worse after the new meds"},
+		{Thread: dehealth.NewThread, Text: "has anyone tried magnesium for sleep?"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := pw.Sizes()
+	fmt.Printf("new user id is the next dense id: %v\n", id == before)
+	fmt.Printf("world grew by %d user\n", after-before)
+
+	candidates, err := pw.QueryUser(id, 5, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queryable immediately: %d candidates\n", len(candidates))
+	// Output:
+	// new user id is the next dense id: true
+	// world grew by 1 user
+	// queryable immediately: 5 candidates
+}

@@ -15,6 +15,7 @@ import (
 	"dehealth/internal/corpus"
 	"dehealth/internal/features"
 	"dehealth/internal/graph"
+	"dehealth/internal/index"
 	"dehealth/internal/ml"
 	"dehealth/internal/shard"
 	"dehealth/internal/similarity"
@@ -164,11 +165,42 @@ func (p *Pipeline) WithSimilarity(cfg similarity.Config) *Pipeline {
 }
 
 // Sharded returns a pipeline over the same artifacts whose query path is
-// re-partitioned into n shards (clamped as shard.Bounds documents).
+// re-partitioned into n shards (clamped as shard.Bounds documents). A
+// pruned pipeline stays pruned: the new partitions build their own index
+// windows under the same configuration and keep accumulating into the
+// same stats block.
 func (p *Pipeline) Sharded(n int) *Pipeline {
 	q := *p
 	q.world = shard.New(p.Scorer, p.G2, p.auxStore, n)
+	if p.world != nil {
+		if cfg, st, ok := p.world.PruneState(); ok {
+			q.world = q.world.WithPruning(cfg, st)
+		}
+	}
 	return &q
+}
+
+// Pruned returns a pipeline over the same artifacts whose QueryUser /
+// QueryBatch path gathers candidates from per-shard attribute inverted
+// indexes and exact-rescores only them, falling back to the full scan
+// whenever the structural score bounds cannot certify top-K correctness
+// — results stay bit-identical to the unpruned path at every
+// configuration (see internal/index). st, when non-nil, is the shared
+// counter block the pruned queries accumulate into; nil allocates a
+// fresh one. Batch TopK (the offline evaluation) is unaffected.
+func (p *Pipeline) Pruned(cfg index.Config, st *index.Stats) *Pipeline {
+	q := *p
+	q.world = p.shardWorld().WithPruning(cfg, st)
+	return &q
+}
+
+// PruneStats snapshots the query path's cumulative pruning counters
+// (zero for an unpruned pipeline).
+func (p *Pipeline) PruneStats() index.Stats {
+	if p.world == nil {
+		return index.Stats{}
+	}
+	return p.world.PruneStats()
 }
 
 // Shards returns the query path's auxiliary partition count (1 for

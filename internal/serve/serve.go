@@ -52,6 +52,26 @@ type ShardCount struct {
 	AnonUsers int `json:"anon_users"`
 }
 
+// PruneCounters is the candidate-pruning block of /v1/stats: cumulative
+// per-shard-query counters describing how much of the auxiliary
+// population the attribute inverted index let queries skip. Pruning never
+// changes results — only the amount of scanning.
+type PruneCounters struct {
+	Queries    int64 `json:"queries"`
+	Fallbacks  int64 `json:"fallbacks"`
+	Candidates int64 `json:"candidates"`
+	Scanned    int64 `json:"scanned"`
+	Skipped    int64 `json:"skipped"`
+}
+
+// PruneStatser is the optional Backend extension for candidate-pruning
+// counters: backends that prune report (counters, true); /v1/stats then
+// carries a "prune" block. Backends without pruning simply do not
+// implement it (or return false).
+type PruneStatser interface {
+	PruneCounters() (PruneCounters, bool)
+}
+
 // Backend is the prepared world a Server queries and grows. Implementations
 // need no internal locking against the Server: all calls arrive from the
 // dispatcher's flush, ingestion strictly before queries. When the backend
@@ -121,14 +141,17 @@ var ErrDrainTimeout = errors.New("serve: drain deadline exceeded")
 // Stats is the /v1/stats payload: aggregate sizes and counters plus the
 // per-shard breakdown of the world.
 type Stats struct {
-	AnonUsers     int          `json:"anon_users"`
-	AuxUsers      int          `json:"aux_users"`
-	Shards        []ShardCount `json:"shards"`
-	Queries       int64        `json:"queries"`
-	Ingests       int64        `json:"ingests"`
-	Batches       int64        `json:"batches"`
-	MeanBatchSize float64      `json:"mean_batch_size"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
+	AnonUsers int          `json:"anon_users"`
+	AuxUsers  int          `json:"aux_users"`
+	Shards    []ShardCount `json:"shards"`
+	// Prune carries the candidate-pruning counters when the backend
+	// prunes (see PruneStatser); omitted otherwise.
+	Prune         *PruneCounters `json:"prune,omitempty"`
+	Queries       int64          `json:"queries"`
+	Ingests       int64          `json:"ingests"`
+	Batches       int64          `json:"batches"`
+	MeanBatchSize float64        `json:"mean_batch_size"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
 }
 
 // Server is the running query service. Create with New, expose with
@@ -331,10 +354,17 @@ func (s *Server) Stats() Stats {
 	if batches > 0 {
 		mean = float64(atomic.LoadInt64(&s.batched)) / float64(batches)
 	}
+	var prune *PruneCounters
+	if ps, ok := s.backend.(PruneStatser); ok {
+		if c, enabled := ps.PruneCounters(); enabled {
+			prune = &c
+		}
+	}
 	return Stats{
 		AnonUsers:     anon,
 		AuxUsers:      aux,
 		Shards:        s.backend.ShardSizes(),
+		Prune:         prune,
 		Queries:       atomic.LoadInt64(&s.queries),
 		Ingests:       atomic.LoadInt64(&s.ingests),
 		Batches:       batches,

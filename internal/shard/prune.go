@@ -1,0 +1,193 @@
+// Candidate-pruned shard queries. Each shard can own an attribute
+// inverted index over its auxiliary window (internal/index); the pruned
+// top-K path gathers the query user's attribute postings, exact-rescores
+// only those candidates with the unchanged Scorer.Score, and skips every
+// zero-overlap user whose degree band's structural score bound
+// (similarity.ScoreBoundNoAttr) provably falls below the current K-th
+// score. Whenever the proof does not cover a user — the candidate set is
+// too large, the heap is not yet full, or a band's bound reaches the
+// threshold — that user is scanned exactly, so the pruned path returns
+// results bit-identical to Shard.TopK at every configuration. Pruning is
+// an opt-in view of a World (WithPruning); the unpruned path is untouched.
+
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dehealth/internal/index"
+	"dehealth/internal/similarity"
+	"dehealth/internal/stylometry"
+)
+
+// scorerSource adapts a shard's scorer window to index.Source: the index
+// is built from exactly the frozen aux-side values the scoring hot loop
+// reads, so postings and bands can never drift from scoring.
+type scorerSource struct{ s *similarity.Scorer }
+
+func (a scorerSource) NumUsers() int                  { return a.s.AuxUsers() }
+func (a scorerSource) Attrs(u int) stylometry.AttrSet { return a.s.AuxAttrs(u) }
+func (a scorerSource) Degree(u int) float64           { return a.s.AuxDegree(u) }
+func (a scorerSource) WeightedDegree(u int) float64   { return a.s.AuxWeightedDegree(u) }
+
+// BuildIndex builds the shard's attribute inverted index and degree bands
+// over its scorer window. Idempotent in effect: the aux side is immutable,
+// so rebuilding yields an equivalent index.
+func (sh *Shard) BuildIndex(cfg index.Config) {
+	sh.Index = index.Build(scorerSource{sh.Scorer}, cfg)
+}
+
+// TopKPruned is Shard.TopK through the candidate-pruning engine: same
+// candidates, same order, same scores — bit-identical — with the scan
+// restricted to attribute-overlap candidates plus the degree bands whose
+// structural bound cannot rule them out. st accumulates the pruning
+// counters (atomically; pass the world's shared stats).
+func (sh *Shard) TopKPruned(u, k int, cfg index.Config, st *index.Stats) []Candidate {
+	n := sh.NumUsers()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []Candidate{}
+	}
+	atomic.AddInt64(&st.Queries, 1)
+	x := sh.Index
+	if x == nil || !sh.Scorer.PruneSafe() {
+		atomic.AddInt64(&st.Fallbacks, 1)
+		return sh.TopK(u, k)
+	}
+
+	s := x.AcquireScratch()
+	defer x.ReleaseScratch(s)
+	cands := x.Candidates(sh.Scorer.AnonAttrs(u), s)
+	if float64(len(cands)) > cfg.MaxCandidateFrac*float64(n) {
+		// Dense overlap: the candidate set would not amortize the pruning
+		// bookkeeping. The plain scan is the same work without it.
+		atomic.AddInt64(&st.Fallbacks, 1)
+		return sh.TopK(u, k)
+	}
+	atomic.AddInt64(&st.Candidates, int64(len(cands)))
+
+	h := make(candidateHeap, 0, k)
+	push := func(j int32) {
+		c := Candidate{User: sh.Lo + int(j), Score: sh.Scorer.Score(u, int(j))}
+		if len(h) < k {
+			h = append(h, c)
+			h.up(len(h) - 1)
+		} else if worse(h[0], c) {
+			h[0] = c
+			h.down(0)
+		}
+	}
+	for _, j := range cands {
+		push(j)
+	}
+
+	// Non-candidates have AttrSim exactly 0 (disjoint attribute sets zero
+	// both Jaccard terms), so per band a single structural bound covers
+	// every unmarked member. Skipping demands a strict inequality against
+	// the heap's current K-th score: the heap only improves afterwards, so
+	// a user skipped now can never belong to the final top-K. Ties must
+	// scan — an equal-scoring smaller id would displace the heap root. A
+	// skipped or candidate-free band is never visited, so query cost is
+	// O(candidates + uncertified band members), not O(window).
+	var scanned, skipped int64
+	for bi, b := range x.Bands() {
+		nonCand := int64(len(b.IDs) - s.BandCandidates(bi))
+		if nonCand == 0 {
+			continue
+		}
+		if len(h) == k {
+			bound := sh.Scorer.ScoreBoundNoAttr(u, b.DegLo, b.DegHi, b.WdegLo, b.WdegHi)
+			if bound < h[0].Score {
+				skipped += nonCand
+				continue
+			}
+		}
+		for _, j := range b.IDs {
+			if !s.Marked(j) {
+				push(j)
+				scanned++
+			}
+		}
+	}
+	atomic.AddInt64(&st.Scanned, scanned)
+	atomic.AddInt64(&st.Skipped, skipped)
+
+	out := []Candidate(h)
+	sortCandidates(out)
+	return out
+}
+
+// WithPruning returns a world over the same shards whose queries run
+// through the candidate-pruning engine. Each shard's inverted index is
+// built (in parallel) over its scorer window unless already present —
+// the aux side is immutable, so indexes built once stay current through
+// ingestion, which only grows the anonymized side. st, when non-nil, is
+// the shared stats the pruned queries accumulate into (pass one struct
+// across every pruned world derived from the same prepared world); nil
+// allocates a fresh one. Results remain bit-identical to the unpruned
+// world: pruning only changes which users are provably not scored.
+func (w *World) WithPruning(cfg index.Config, st *index.Stats) *World {
+	cfg = cfg.WithDefaults()
+	if st == nil {
+		st = &index.Stats{}
+	}
+	out := &World{
+		shards:     make([]*Shard, len(w.shards)),
+		scanTokens: w.scanTokens,
+		prune:      &cfg,
+		pstats:     st,
+	}
+	var wg sync.WaitGroup
+	for i, sh := range w.shards {
+		ns := *sh
+		out.shards[i] = &ns
+		// Reuse an existing index only when the new configuration's
+		// build-relevant part matches; a different band count rebuilds, so
+		// re-pruning under a new Config is never partially applied.
+		if ns.Index == nil || ns.Index.BuildConfig().Bands != cfg.Bands {
+			wg.Add(1)
+			go func(s *Shard) {
+				defer wg.Done()
+				s.BuildIndex(cfg)
+			}(out.shards[i])
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Pruned reports whether the world's queries run through the
+// candidate-pruning engine.
+func (w *World) Pruned() bool { return w.prune != nil }
+
+// PruneState returns the world's pruning configuration and shared stats
+// block (ok false for an unpruned world). Re-partitioning callers use it
+// to re-apply WithPruning so a derived world keeps pruning — and keeps
+// accumulating into the same counters.
+func (w *World) PruneState() (cfg index.Config, st *index.Stats, ok bool) {
+	if w.prune == nil {
+		return index.Config{}, nil, false
+	}
+	return *w.prune, w.pstats, true
+}
+
+// PruneStats snapshots the world's cumulative pruning counters (zero for
+// an unpruned world).
+func (w *World) PruneStats() index.Stats {
+	if w.pstats == nil {
+		return index.Stats{}
+	}
+	return w.pstats.Snapshot()
+}
+
+// shardTopK routes one shard's slice of a query through the pruned or
+// plain engine, whichever the world is configured for.
+func (w *World) shardTopK(sh *Shard, u, k int) []Candidate {
+	if w.prune != nil {
+		return sh.TopKPruned(u, k, *w.prune, w.pstats)
+	}
+	return sh.TopK(u, k)
+}

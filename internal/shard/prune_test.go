@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"testing"
+
+	"dehealth/internal/graph"
+	"dehealth/internal/index"
+	"dehealth/internal/similarity"
+	"dehealth/internal/synth"
+)
+
+// sparseWorld builds matched anonymized/auxiliary UDA graphs whose
+// attribute sets are synthetic and sparse (community-pooled; see
+// synth.SparseAttrUDA), so attribute-overlap candidate sets are a small
+// fraction of the population — the regime the inverted index targets.
+func sparseWorld(t *testing.T, n, comm, dim int, seed int64) (g1, g2 *graph.UDA) {
+	t.Helper()
+	return synth.SparseAttrUDA(n, comm, dim, seed), synth.SparseAttrUDA(n, comm, dim, seed+1000)
+}
+
+func candidatesEqual(t *testing.T, got, want []Candidate, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d candidates, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: candidate %d = %+v, want %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPrunedParitySparse is the tentpole guarantee on the favorable
+// workload: over a sparse-overlap world, the pruned path must return
+// bit-identical top-K to the unsharded full scan at every shard count and
+// K — while actually skipping work (the stats must show skipped users).
+func TestPrunedParitySparse(t *testing.T) {
+	g1, g2 := sparseWorld(t, 120, 12, 400, 7)
+	base := similarity.NewScorer(g1, g2, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5})
+	full := New(base, g2, nil, 1)
+
+	for _, shards := range []int{1, 3, 8} {
+		st := &index.Stats{}
+		pruned := New(base, g2, nil, shards).WithPruning(index.Config{}, st)
+		if !pruned.Pruned() {
+			t.Fatal("WithPruning world must report Pruned")
+		}
+		for _, k := range []int{1, 5, 17} {
+			for u := 0; u < g1.NumNodes(); u++ {
+				candidatesEqual(t, pruned.QueryUser(u, k), full.QueryUser(u, k),
+					"sparse pruned parity")
+			}
+		}
+		s := pruned.PruneStats()
+		if s.Queries == 0 {
+			t.Fatal("pruned queries not counted")
+		}
+		if s.Skipped == 0 {
+			t.Fatalf("sparse world skipped no users: %+v", s)
+		}
+	}
+}
+
+// TestPrunedParityDense drives the pruned engine over a real text world,
+// where stylometric attribute overlap is dense and most queries exceed
+// MaxCandidateFrac — the fallback path — and checks parity there too.
+func TestPrunedParityDense(t *testing.T) {
+	auxS, auxUDA, base, anonN := testWorld(t, 24, 6, 31)
+	full := New(base, auxUDA, auxS, 1)
+	st := &index.Stats{}
+	pruned := New(base, auxUDA, auxS, 3).WithPruning(index.Config{}, st)
+	for u := 0; u < anonN; u++ {
+		candidatesEqual(t, pruned.QueryUser(u, 7), full.QueryUser(u, 7), "dense pruned parity")
+	}
+	s := pruned.PruneStats()
+	if s.Queries == 0 {
+		t.Fatal("pruned queries not counted")
+	}
+	if s.Fallbacks == 0 {
+		t.Fatalf("dense stylometric world should exercise the fallback: %+v", s)
+	}
+}
+
+// TestPrunedQueryBatch pins batch parity through the pruned engine.
+func TestPrunedQueryBatch(t *testing.T) {
+	g1, g2 := sparseWorld(t, 80, 10, 300, 13)
+	base := similarity.NewScorer(g1, g2, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 4})
+	full := New(base, g2, nil, 1)
+	pruned := New(base, g2, nil, 4).WithPruning(index.Config{}, nil)
+	users := make([]int, g1.NumNodes())
+	for i := range users {
+		users[i] = i
+	}
+	got := pruned.QueryBatch(users, 6, 3)
+	for i, u := range users {
+		candidatesEqual(t, got[i], full.QueryUser(u, 6), "pruned batch parity")
+	}
+}
+
+// TestPrunedUnsafeConfigFallsBack pins the negative-weight guard end to
+// end: a configuration that is not prune-safe must still return exact
+// results, via fallback.
+func TestPrunedUnsafeConfigFallsBack(t *testing.T) {
+	g1, g2 := sparseWorld(t, 60, 10, 300, 17)
+	cfg := similarity.Config{C1: -0.2, C2: 0.6, C3: 0.6, Landmarks: 4}
+	base := similarity.NewScorer(g1, g2, cfg)
+	full := New(base, g2, nil, 1)
+	st := &index.Stats{}
+	pruned := New(base, g2, nil, 2).WithPruning(index.Config{}, st)
+	for u := 0; u < g1.NumNodes(); u++ {
+		candidatesEqual(t, pruned.QueryUser(u, 5), full.QueryUser(u, 5), "unsafe config parity")
+	}
+	s := pruned.PruneStats()
+	if s.Fallbacks != s.Queries {
+		t.Fatalf("unsafe config must always fall back: %+v", s)
+	}
+}
+
+// TestWithScorerKeepsPruning re-weights a pruned world and checks the
+// derived world still prunes, reuses the indexes, accumulates into the
+// same stats, and stays bit-identical to a fresh unpruned world at the
+// new weights.
+func TestWithScorerKeepsPruning(t *testing.T) {
+	g1, g2 := sparseWorld(t, 90, 10, 300, 23)
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 4}
+	base := similarity.NewScorer(g1, g2, cfg)
+	st := &index.Stats{}
+	pruned := New(base, g2, nil, 3).WithPruning(index.Config{}, st)
+
+	re := base.Reweighted(similarity.Config{C1: 0.2, C2: 0.2, C3: 0.6, Landmarks: 4})
+	derived := pruned.WithScorer(re)
+	if !derived.Pruned() {
+		t.Fatal("WithScorer dropped pruning")
+	}
+	for i, sh := range derived.Shards() {
+		if sh.Index == nil || sh.Index != pruned.Shards()[i].Index {
+			t.Fatal("WithScorer must reuse the shard indexes")
+		}
+	}
+	full := New(re, g2, nil, 1)
+	for u := 0; u < g1.NumNodes(); u++ {
+		candidatesEqual(t, derived.QueryUser(u, 5), full.QueryUser(u, 5), "reweighted pruned parity")
+	}
+	if derived.PruneStats().Queries != pruned.PruneStats().Queries {
+		t.Fatal("derived world must share the stats block")
+	}
+}
+
+// TestPrunedDegenerateK mirrors the unpruned TopK clamps.
+func TestPrunedDegenerateK(t *testing.T) {
+	g1, g2 := sparseWorld(t, 30, 6, 200, 29)
+	base := similarity.NewScorer(g1, g2, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 3})
+	pruned := New(base, g2, nil, 2).WithPruning(index.Config{}, nil)
+	full := New(base, g2, nil, 1)
+	if got := pruned.QueryUser(0, g2.NumNodes()+50); len(got) != g2.NumNodes() {
+		t.Fatalf("k beyond population returned %d candidates, want %d", len(got), g2.NumNodes())
+	}
+	candidatesEqual(t, pruned.QueryUser(0, g2.NumNodes()+50), full.QueryUser(0, g2.NumNodes()+50), "k clamp parity")
+}

@@ -32,6 +32,7 @@ import (
 
 	"dehealth/internal/features"
 	"dehealth/internal/graph"
+	"dehealth/internal/index"
 	"dehealth/internal/similarity"
 )
 
@@ -80,6 +81,11 @@ type Shard struct {
 	// (local index j = global user Lo+j). For a single-shard world it is
 	// the base scorer.
 	Scorer *similarity.Scorer
+	// Index is the shard's attribute inverted index plus degree bands over
+	// the same window, backing the candidate-pruned query path (TopKPruned).
+	// Nil until the world enables pruning (WithPruning / BuildIndex); the
+	// aux side is immutable, so a built index never goes stale.
+	Index *index.Index
 }
 
 // NumUsers returns the shard's auxiliary population.
@@ -108,8 +114,13 @@ func (sh *Shard) TopK(u, k int) []Candidate {
 		}
 	}
 	out := []Candidate(h)
-	sort.Slice(out, func(a, b int) bool { return better(out[a], out[b]) })
+	sortCandidates(out)
 	return out
+}
+
+// sortCandidates orders candidates under the global selection order.
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(a, b int) bool { return better(cs[a], cs[b]) })
 }
 
 // World is the shard router: the auxiliary world cut into contiguous
@@ -128,6 +139,11 @@ type World struct {
 	// dry and queries degrade to inline shard scans instead of stacking
 	// goroutines multiplicatively on the scheduler.
 	scanTokens chan struct{}
+	// prune, when non-nil, routes every query through the candidate-pruned
+	// engine under this configuration (see prune.go); pstats is the shared
+	// counter block those queries accumulate into.
+	prune  *index.Config
+	pstats *index.Stats
 }
 
 // Bounds returns the n+1 partition offsets that cut total users into n
@@ -184,13 +200,20 @@ func New(base *similarity.Scorer, auxUDA *graph.UDA, auxStore *features.Store, n
 }
 
 // WithScorer re-derives every shard's scorer window from a re-weighted
-// base scorer, reusing the partition bounds, store views and induced
-// subgraphs — topology does not depend on the similarity configuration, so
-// re-configuring a sharded world costs O(shards) slice headers.
+// base scorer, reusing the partition bounds, store views, induced
+// subgraphs and inverted indexes — topology and attribute postings do not
+// depend on the similarity configuration, so re-configuring a sharded
+// world costs O(shards) slice headers. A pruned world stays pruned, still
+// accumulating into the same shared stats.
 func (w *World) WithScorer(base *similarity.Scorer) *World {
-	out := &World{shards: make([]*Shard, len(w.shards)), scanTokens: w.scanTokens}
+	out := &World{
+		shards:     make([]*Shard, len(w.shards)),
+		scanTokens: w.scanTokens,
+		prune:      w.prune,
+		pstats:     w.pstats,
+	}
 	for i, sh := range w.shards {
-		ns := &Shard{Lo: sh.Lo, Hi: sh.Hi, View: sh.View, Sub: sh.Sub, Scorer: base}
+		ns := &Shard{Lo: sh.Lo, Hi: sh.Hi, View: sh.View, Sub: sh.Sub, Scorer: base, Index: sh.Index}
 		if len(w.shards) > 1 {
 			ns.Scorer = base.Shard(sh.Sub, sh.Lo, sh.Hi)
 		}
@@ -234,7 +257,7 @@ func newScanTokens() chan struct{} {
 // same order, same scores.
 func (w *World) QueryUser(u, k int) []Candidate {
 	if len(w.shards) == 1 {
-		return w.shards[0].TopK(u, k)
+		return w.shardTopK(w.shards[0], u, k)
 	}
 	parts := make([][]Candidate, len(w.shards))
 	var next int64
@@ -245,7 +268,7 @@ func (w *World) QueryUser(u, k int) []Candidate {
 			if i >= len(w.shards) {
 				return
 			}
-			parts[i] = w.shards[i].TopK(u, k)
+			parts[i] = w.shardTopK(w.shards[i], u, k)
 		}
 	}
 spawn:
@@ -273,11 +296,11 @@ spawn:
 // fan-out would only add scheduling churn.
 func (w *World) queryInline(u, k int) []Candidate {
 	if len(w.shards) == 1 {
-		return w.shards[0].TopK(u, k)
+		return w.shardTopK(w.shards[0], u, k)
 	}
 	parts := make([][]Candidate, len(w.shards))
 	for i, sh := range w.shards {
-		parts[i] = sh.TopK(u, k)
+		parts[i] = w.shardTopK(sh, u, k)
 	}
 	return mergeTopK(parts, k)
 }

@@ -1,0 +1,102 @@
+// Score upper bounds for candidate pruning. The inverted-index query path
+// (internal/index, internal/shard) skips auxiliary users that share no
+// attribute with the query user — but only when it can prove that no
+// skipped user could enter the top-K. The proof obligation is an upper
+// bound on Score(u, v) over every v in a degree band with zero attribute
+// overlap; this file computes that bound from the same per-component
+// decomposition Score uses, inflated by a small safety margin so floating-
+// point rounding in the exact path can never exceed it. A conservative
+// bound costs only extra scanning, never correctness.
+
+package similarity
+
+import (
+	"math"
+
+	"dehealth/internal/stylometry"
+)
+
+// Bound safety margins: upper bounds are inflated by a relative factor and
+// an absolute epsilon so that rounding in the exact Score computation (for
+// example a cosine landing a few ulps above 1) can never produce a score
+// above the bound. The inflation is orders of magnitude larger than any
+// accumulated float64 rounding on the handful of operations Score performs,
+// and orders of magnitude smaller than real score differences.
+const (
+	boundRelMargin = 1e-9
+	boundAbsMargin = 1e-12
+)
+
+// inflate applies the safety margins to a raw upper bound.
+func inflate(b float64) float64 {
+	return b*(1+boundRelMargin) + boundAbsMargin
+}
+
+// RatioSimBound returns an upper bound on ratioSim(a, b) over all b in
+// [lo, hi] (the min/max ratio used by the degree similarity). When a lies
+// inside the interval some b equals a and the bound is 1; outside, the
+// closest endpoint gives the tightest ratio. Degenerate intervals
+// containing 0 bound to 1, matching ratioSim's convention for isolated
+// nodes.
+func RatioSimBound(a, lo, hi float64) float64 {
+	if lo <= a && a <= hi {
+		return 1
+	}
+	if a < lo {
+		if lo == 0 {
+			return 1
+		}
+		return a / lo
+	}
+	if a == 0 {
+		return 1
+	}
+	return hi / a
+}
+
+// AnonAttrs returns the attribute set of anonymized user u — the query
+// side of the attribute inverted index.
+func (s *Scorer) AnonAttrs(u int) stylometry.AttrSet { return s.g1.Attrs[u] }
+
+// AuxAttrs returns window-local auxiliary user j's attribute set (shared;
+// do not modify). Index construction reads the aux side exclusively
+// through these accessors so the index sees exactly the frozen values the
+// scoring hot loop sees.
+func (s *Scorer) AuxAttrs(j int) stylometry.AttrSet { return s.ax.attrs[j] }
+
+// AuxDegree returns window-local auxiliary user j's (global) degree.
+func (s *Scorer) AuxDegree(j int) float64 { return s.ax.deg[j] }
+
+// AuxWeightedDegree returns window-local auxiliary user j's (global)
+// weighted degree.
+func (s *Scorer) AuxWeightedDegree(j int) float64 { return s.ax.wdeg[j] }
+
+// PruneSafe reports whether the scorer's configuration admits safe
+// candidate pruning: all three component weights must be non-negative,
+// since the band bounds multiply per-component upper bounds by the weights
+// (a negative weight would turn an upper bound into a lower one). The
+// paper's configurations are all non-negative; a scorer that is not
+// prune-safe simply falls back to the full scan.
+func (s *Scorer) PruneSafe() bool {
+	return s.cfg.C1 >= 0 && s.cfg.C2 >= 0 && s.cfg.C3 >= 0
+}
+
+// ScoreBoundNoAttr returns an upper bound on Score(u, v) over every
+// auxiliary user v that (a) shares no attribute with u — so both Jaccard
+// terms of AttrSim are exactly zero — and (b) has degree in [degLo, degHi]
+// and weighted degree in [wdegLo, wdegHi]. The cosine terms of the degree
+// and distance similarities are bounded by 1 (all NCS and closeness
+// entries are non-negative); the ratio terms by RatioSimBound over the
+// band's ranges. The result carries the safety margin, so a strict
+// comparison kthScore > bound certifies that no such v can displace any
+// of the current top-K. Returns +Inf when the configuration is not
+// prune-safe, which forces the caller to scan.
+func (s *Scorer) ScoreBoundNoAttr(u int, degLo, degHi, wdegLo, wdegHi float64) float64 {
+	if !s.PruneSafe() {
+		return math.Inf(1)
+	}
+	degSim := RatioSimBound(float64(s.g1.Degree(u)), degLo, degHi) +
+		RatioSimBound(s.g1.WeightedDegree(u), wdegLo, wdegHi) + 1
+	const distSim = 2 // two cosines over non-negative closeness vectors
+	return inflate(s.cfg.C1*degSim + s.cfg.C2*distSim)
+}

@@ -1,0 +1,130 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRatioSimBound checks the bound against the exact ratioSim over
+// random values and intervals, including endpoints and zeros.
+func TestRatioSimBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := float64(rng.Intn(20))
+		lo := float64(rng.Intn(20))
+		hi := lo + float64(rng.Intn(20))
+		bound := RatioSimBound(a, lo, hi)
+		for _, b := range []float64{lo, hi, (lo + hi) / 2, lo + 1, hi - 1} {
+			if b < lo || b > hi {
+				continue
+			}
+			if got := ratioSim(a, b); got > bound+1e-15 {
+				t.Logf("ratioSim(%v, %v) = %v above bound %v over [%v, %v]", a, b, got, bound, lo, hi)
+				return false
+			}
+		}
+		return bound <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScoreBoundNoAttrCoversScores is the safety property the pruned
+// query path rests on: for every pair (u, v) with zero attribute overlap,
+// Score(u, v) must not exceed the bound computed from v's exact degree
+// and weighted degree (the tightest band containing v). Exercised over a
+// real scorer so the cosine and ratio terms take their production values.
+func TestScoreBoundNoAttrCoversScores(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	// Zero one side's attribute sets so every pair has zero overlap; the
+	// structural terms stay real.
+	for u := range g2.Attrs {
+		g2.Attrs[u].Idx = nil
+		g2.Attrs[u].Weight = nil
+	}
+	for _, cfg := range []Config{
+		{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2},
+		{C1: 1, C2: 0, C3: 0, Landmarks: 2},
+		{C1: 0, C2: 1, C3: 0, Landmarks: 2},
+		{C1: 0, C2: 0, C3: 1, Landmarks: 2},
+		{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 2},
+	} {
+		s := NewScorer(g1, g2, cfg)
+		for u := 0; u < g1.NumNodes(); u++ {
+			for v := 0; v < g2.NumNodes(); v++ {
+				d, wd := s.AuxDegree(v), s.AuxWeightedDegree(v)
+				bound := s.ScoreBoundNoAttr(u, d, d, wd, wd)
+				if got := s.Score(u, v); got > bound {
+					t.Fatalf("cfg %+v: Score(%d,%d) = %v above bound %v", cfg, u, v, got, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreBoundWideBands widens the band around v and checks the bound
+// only grows (a wider band must stay an upper bound for its members).
+func TestScoreBoundWideBands(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.2, C2: 0.2, C3: 0.6, Landmarks: 2})
+	for u := 0; u < g1.NumNodes(); u++ {
+		for v := 0; v < g2.NumNodes(); v++ {
+			d, wd := s.AuxDegree(v), s.AuxWeightedDegree(v)
+			tight := s.ScoreBoundNoAttr(u, d, d, wd, wd)
+			wide := s.ScoreBoundNoAttr(u, math.Max(0, d-3), d+3, math.Max(0, wd-3), wd+3)
+			if wide < tight {
+				t.Fatalf("widening the band shrank the bound: %v < %v", wide, tight)
+			}
+		}
+	}
+}
+
+// TestPruneSafe pins the negative-weight guard: unsafe configurations
+// must refuse to certify anything.
+func TestPruneSafe(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	safe := NewScorer(g1, g2, Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2})
+	if !safe.PruneSafe() {
+		t.Fatal("non-negative weights must be prune-safe")
+	}
+	unsafe := NewScorer(g1, g2, Config{C1: -0.1, C2: 0.5, C3: 0.6, Landmarks: 2})
+	if unsafe.PruneSafe() {
+		t.Fatal("negative weight must not be prune-safe")
+	}
+	if b := unsafe.ScoreBoundNoAttr(0, 0, 10, 0, 10); !math.IsInf(b, 1) {
+		t.Fatalf("unsafe scorer bound = %v, want +Inf", b)
+	}
+}
+
+// TestAuxAccessorsMatchGraph pins the accessor contract: the frozen
+// aux-side reads the index is built from must equal live graph reads.
+func TestAuxAccessorsMatchGraph(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, DefaultConfig())
+	for v := 0; v < g2.NumNodes(); v++ {
+		if s.AuxDegree(v) != float64(g2.Degree(v)) {
+			t.Fatalf("AuxDegree(%d) = %v, graph has %d", v, s.AuxDegree(v), g2.Degree(v))
+		}
+		if s.AuxWeightedDegree(v) != g2.WeightedDegree(v) {
+			t.Fatalf("AuxWeightedDegree(%d) mismatch", v)
+		}
+		if got, want := s.AuxAttrs(v).Len(), g2.Attrs[v].Len(); got != want {
+			t.Fatalf("AuxAttrs(%d) has %d attrs, graph has %d", v, got, want)
+		}
+	}
+	for u := 0; u < g1.NumNodes(); u++ {
+		if got, want := s.AnonAttrs(u).Len(), g1.Attrs[u].Len(); got != want {
+			t.Fatalf("AnonAttrs(%d) has %d attrs, graph has %d", u, got, want)
+		}
+	}
+	// Accessors on a shard window must read the same global values.
+	win := s.Shard(nil, 1, 3)
+	for j := 0; j < 2; j++ {
+		if win.AuxDegree(j) != s.AuxDegree(1+j) || win.AuxWeightedDegree(j) != s.AuxWeightedDegree(1+j) {
+			t.Fatalf("window accessor %d drifted from global", j)
+		}
+	}
+}

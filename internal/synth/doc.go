@@ -1,0 +1,14 @@
+// Package synth generates the synthetic evaluation worlds standing in for
+// the paper's WebMD and HealthBoards crawls (§II, Fig.1, Fig.2, Fig.7):
+// a person universe with stable identities, per-forum membership with a
+// controllable overlap (the open-world knob of §V-B), forum corpora whose
+// post-count and post-length distributions are calibrated to the paper's
+// statistics, a style-bearing text generator that gives each person a
+// persistent stylometric fingerprint (the signal the Table I features
+// recover), and the external-service social directory (usernames, avatars,
+// profile fields) that the §VI linkage attack runs against.
+//
+// Everything is seeded and deterministic: the same configuration
+// reproduces the same world bit for bit, which is what the parity and
+// equivalence tests across the repo rely on.
+package synth

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# check_pkgdoc.sh — fail when any package in the module lacks a package
+# comment (the godoc contract: every internal/* package states its role
+# and paper grounding; see docs/ARCHITECTURE.md). Used by the CI
+# docs-lint step and runnable locally:
+#
+#   ./scripts/check_pkgdoc.sh
+set -euo pipefail
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+    echo "packages missing a package comment:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "package comments: all $(go list ./... | wc -l) packages documented"
