@@ -483,11 +483,58 @@ func BenchmarkQueryUserPruned(b *testing.B) {
 		})
 	}
 
+	// Dense regime: one community spanning the whole population, so every
+	// query's candidate set is essentially the window and no band skip can
+	// certify — the adversarial case for the banded engine, measured so
+	// its bookkeeping overhead (postings gather, marking, scattered
+	// rescore, fruitless bound checks) against the plain blocked scan is
+	// tracked per commit rather than assumed.
+	const denseUsers = 2000
+	dg1 := synth.SparseAttrUDA(anonUsers, denseUsers, attrDim, 1203)
+	dg2 := synth.SparseAttrUDA(denseUsers, denseUsers, attrDim, 1204)
+	dbase := similarity.NewScorer(dg1, dg2, cfg)
+	dfull := shard.New(dbase, dg2, nil, 1)
+	dst := &index.Stats{}
+	dpruned := shard.New(dbase, dg2, nil, 1).WithPruning(index.Config{}, dst)
+	for u := 0; u < anonUsers; u += 29 { // parity spot-check, off the timer
+		got, want := dpruned.QueryUser(u, 10), dfull.QueryUser(u, 10)
+		for i := range want {
+			if got[i] != want[i] {
+				b.Fatalf("dense user %d candidate %d: pruned %+v, full %+v", u, i, got[i], want[i])
+			}
+		}
+	}
+	for _, mode := range []struct {
+		name  string
+		world *shard.World
+	}{
+		{"dense-full-scan", dfull},
+		{"dense-pruned", dpruned},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				mode.world.QueryUser(i%anonUsers, 10)
+			}
+			rate := float64(b.N) / time.Since(start).Seconds()
+			b.ReportMetric(rate, "qps")
+			if prev, ok := qps[mode.name]; !ok || rate > prev {
+				qps[mode.name] = rate
+			}
+		})
+	}
+
 	speedup := 0.0
 	if qps["full-scan"] > 0 {
 		speedup = qps["pruned"] / qps["full-scan"]
 	}
+	denseSpeedup := 0.0
+	if qps["dense-full-scan"] > 0 {
+		denseSpeedup = qps["dense-pruned"] / qps["dense-full-scan"]
+	}
 	stats := st.Snapshot()
+	dstats := dst.Snapshot()
 	summary := map[string]any{
 		"benchmark":  "prune",
 		"generated":  time.Now().UTC().Format(time.RFC3339),
@@ -504,13 +551,174 @@ func BenchmarkQueryUserPruned(b *testing.B) {
 		},
 		"prune_counters": map[string]int64{
 			"queries": stats.Queries, "fallbacks": stats.Fallbacks,
-			"candidates": stats.Candidates, "scanned": stats.Scanned, "skipped": stats.Skipped,
+			"dense_queries": stats.DenseQueries,
+			"candidates":    stats.Candidates, "scanned": stats.Scanned, "skipped": stats.Skipped,
+			"bands_checked": stats.BandsChecked, "bands_skipped": stats.BandsSkipped,
+		},
+		"dense": map[string]any{
+			"world":   map[string]int{"anon_users": anonUsers, "aux_users": denseUsers, "community": denseUsers},
+			"speedup": denseSpeedup,
+			"prune_counters": map[string]int64{
+				"queries": dstats.Queries, "dense_queries": dstats.DenseQueries,
+				"candidates": dstats.Candidates, "scanned": dstats.Scanned, "skipped": dstats.Skipped,
+				"bands_checked": dstats.BandsChecked, "bands_skipped": dstats.BandsSkipped,
+			},
+			"interpretation": "single-community world: candidate set ~= window and no band skip certifies, so speedup ~<=1.0x measures the banded engine's bookkeeping overhead in the regime that used to fall back — the floor of the pruning trade, not its win",
 		},
 		"baseline": "full-scan is the per-shard bounded-heap scan over every aux user; pruned rescoring is guaranteed bit-identical (fallback on uncertifiable top-K)",
 	}
 	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
 		if err := os.WriteFile("BENCH_prune.json", append(buf, '\n'), 0o644); err != nil {
 			b.Logf("writing BENCH_prune.json: %v", err)
+		}
+	}
+}
+
+// benchSink keeps benchmark loops from being dead-code eliminated.
+var benchSink float64
+
+// BenchmarkScoreKernel measures the flat scoring kernel against the
+// retained naive reference (similarity.ScoreSlow — the pre-flat-layout
+// per-pair implementation) on a dense-attribute real-text world, at two
+// granularities: raw ns/pair over full row sweeps, and the end-to-end
+// single-thread full-scan QueryUser path (bounded top-K selection over
+// every auxiliary user). Parity is asserted inline before any timing —
+// the flat kernel must be bit-identical to the naive reference pair by
+// pair and query by query — so BENCH_score.json can never report a
+// speedup obtained by changing results.
+func BenchmarkScoreKernel(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 500, HBUsers: 500, Seed: 101})
+	split := SplitClosedWorld(w.WebMD, 0.5, 102)
+	// MaxBigrams 300 keeps the stylometric attribute sets dense — the
+	// regime where the fused attribute merge carries the kernel win.
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 300, features.Options{})
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 10}
+	p := core.NewPipelineFromStore(anonS, auxS, cfg)
+	sc := p.Scorer
+	anonN, auxN := p.G1.NumNodes(), p.G2.NumNodes()
+	const k = 10
+
+	// naiveTopK is the pre-PR full-scan QueryUser: a bounded selection
+	// over ScoreSlow, under the same (score desc, id asc) order.
+	naiveTopK := func(u int) []core.Candidate {
+		best := make([]core.Candidate, 0, k)
+		for v := 0; v < auxN; v++ {
+			c := core.Candidate{User: v, Score: sc.ScoreSlow(u, v)}
+			if len(best) == k {
+				worst := best[len(best)-1]
+				if c.Score < worst.Score || (c.Score == worst.Score && c.User > worst.User) {
+					continue
+				}
+				best = best[:len(best)-1]
+			}
+			i := len(best)
+			for i > 0 && (best[i-1].Score < c.Score || (best[i-1].Score == c.Score && best[i-1].User > c.User)) {
+				i--
+			}
+			best = append(best, core.Candidate{})
+			copy(best[i+1:], best[i:])
+			best[i] = c
+		}
+		return best
+	}
+
+	// Inline parity assertion: flat ≡ naive, bit for bit, off the timer.
+	for u := 0; u < anonN; u += 13 {
+		got, want := p.QueryUser(u, k), naiveTopK(u)
+		if len(got) != len(want) {
+			b.Fatalf("user %d: flat returned %d candidates, naive %d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				b.Fatalf("user %d candidate %d: flat %+v, naive %+v — kernel parity broken", u, i, got[i], want[i])
+			}
+		}
+		for v := 0; v < auxN; v += 7 {
+			if sc.Score(u, v) != sc.ScoreSlow(u, v) {
+				b.Fatalf("Score(%d,%d) = %v, ScoreSlow = %v — kernel parity broken", u, v, sc.Score(u, v), sc.ScoreSlow(u, v))
+			}
+		}
+	}
+
+	nsPerPair := map[string]float64{}
+	qps := map[string]float64{}
+	b.Run("naive-pair", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			u := i % anonN
+			for v := 0; v < auxN; v++ {
+				benchSink += sc.ScoreSlow(u, v)
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(b.N*auxN)
+		b.ReportMetric(ns, "ns/pair")
+		if prev, ok := nsPerPair["naive"]; !ok || ns < prev {
+			nsPerPair["naive"] = ns
+		}
+	})
+	b.Run("flat-pair", func(b *testing.B) {
+		row := make([]float64, auxN)
+		var prof similarity.QueryProfile
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sc.PrepareQuery(i%anonN, &prof)
+			sc.ScoreRange(&prof, 0, auxN, row)
+			benchSink += row[0]
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(b.N*auxN)
+		b.ReportMetric(ns, "ns/pair")
+		if prev, ok := nsPerPair["flat"]; !ok || ns < prev {
+			nsPerPair["flat"] = ns
+		}
+	})
+	b.Run("queryuser-naive", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			naiveTopK(i % anonN)
+		}
+		rate := float64(b.N) / time.Since(start).Seconds()
+		b.ReportMetric(rate, "qps")
+		if prev, ok := qps["naive-full-scan"]; !ok || rate > prev {
+			qps["naive-full-scan"] = rate
+		}
+	})
+	b.Run("queryuser-flat", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			p.QueryUser(i%anonN, k)
+		}
+		rate := float64(b.N) / time.Since(start).Seconds()
+		b.ReportMetric(rate, "qps")
+		if prev, ok := qps["flat-full-scan"]; !ok || rate > prev {
+			qps["flat-full-scan"] = rate
+		}
+	})
+
+	kernelSpeedup := 0.0
+	if nsPerPair["flat"] > 0 {
+		kernelSpeedup = nsPerPair["naive"] / nsPerPair["flat"]
+	}
+	querySpeedup := 0.0
+	if qps["naive-full-scan"] > 0 {
+		querySpeedup = qps["flat-full-scan"] / qps["naive-full-scan"]
+	}
+	summary := map[string]any{
+		"benchmark":  "score-kernel",
+		"generated":  time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"world": map[string]int{
+			"anon_users": anonN, "aux_users": auxN,
+			"landmarks": cfg.Landmarks, "max_bigrams": 300,
+		},
+		"ns_per_pair":       nsPerPair,
+		"kernel_speedup":    kernelSpeedup,
+		"qps":               qps,
+		"queryuser_speedup": querySpeedup,
+		"baseline":          "naive is the retained pre-flat-kernel ScoreSlow (per-pair norm re-summation, live degree walks, two-pass attribute merge); flat is PrepareQuery+ScoreRange over SoA caches with precomputed norms — parity asserted inline, bit-identical",
+	}
+	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_score.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_score.json: %v", err)
 		}
 	}
 }
@@ -592,12 +800,25 @@ func BenchmarkServeThroughput(b *testing.B) {
 		})
 	}
 
+	// Micro-batching trades per-request dispatch overhead for worker-pool
+	// parallelism within a flush; on a single-core runner there is no
+	// parallelism to buy, so batched ~<= unbatched is the expected reading
+	// (queueing delay with nothing in return), not a regression — label
+	// the artifact the same way BENCH_sharding.json is labeled.
+	singleCore := runtime.GOMAXPROCS(0) == 1
+	interpretation := "multi-core: batched vs unbatched qps measures the micro-batching win under concurrent clients"
+	if singleCore {
+		interpretation = "single-core environment: batching buys no parallelism and only adds flush queueing, so batched ~<= unbatched is expected; run on a multi-core machine to measure the batching win"
+	}
 	summary := map[string]any{
-		"benchmark": "serving",
-		"generated": time.Now().UTC().Format(time.RFC3339),
-		"world":     map[string]int{"anon_users": anonN, "aux_users": auxN},
-		"qps":       qps,
-		"config":    map[string]any{"clients": clients, "k": 10, "modes": modes},
+		"benchmark":      "serving",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"single_core":    singleCore,
+		"interpretation": interpretation,
+		"world":          map[string]int{"anon_users": anonN, "aux_users": auxN},
+		"qps":            qps,
+		"config":         map[string]any{"clients": clients, "k": 10, "modes": modes},
 	}
 	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
 		if err := os.WriteFile("BENCH_serving.json", append(buf, '\n'), 0o644); err != nil {

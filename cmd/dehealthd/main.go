@@ -10,6 +10,7 @@
 //	dehealthd -aux aux.json -anon anon.json          # preload known anonymized accounts
 //	dehealthd -synth 300                             # demo mode: synthetic auxiliary world
 //	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2 -shards 8 -prune
+//	dehealthd -synth 300 -pprof localhost:6060        # profiling listener
 //
 // API:
 //
@@ -22,6 +23,8 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // profiling handlers for the optional -pprof listener
 	"runtime"
 	"time"
 
@@ -45,8 +48,19 @@ func main() {
 		hbar    = flag.Int("landmarks", 50, "landmark count for the structural similarity")
 		bigrams = flag.Int("max-bigrams", 300, "POS-bigram feature cap (fitted on the auxiliary texts)")
 		seed    = flag.Int64("seed", 1, "seed for -synth demo worlds")
+		pprofA  = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); off by default")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		// A dedicated listener keeps the profiling surface off the public
+		// query port: bind it to localhost (or a firewalled interface) to
+		// profile the scoring kernel under live traffic.
+		go func() {
+			log.Printf("dehealthd: pprof listening on %s", *pprofA)
+			log.Printf("dehealthd: pprof server exited: %v", http.ListenAndServe(*pprofA, nil))
+		}()
+	}
 
 	var aux *dehealth.Dataset
 	switch {

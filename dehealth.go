@@ -476,8 +476,14 @@ type PruneStats struct {
 	// Queries counts pruned-path shard queries.
 	Queries int64
 	// Fallbacks counts shard queries that fell back to the full window
-	// scan (candidate set too large for the prune bound to pay off).
+	// scan (no index, or a similarity configuration with negative weights
+	// that cannot certify bounds).
 	Fallbacks int64
+	// DenseQueries counts shard queries whose candidate set exceeded the
+	// dense threshold; they still run the banded engine, but most of
+	// their cost is the candidate rescore and only partial band skips
+	// are available.
+	DenseQueries int64
 	// Candidates sums candidate-set sizes (attribute-overlap users that
 	// were exact-rescored) over non-fallback queries.
 	Candidates int64
@@ -487,6 +493,13 @@ type PruneStats struct {
 	// Skipped sums users never scored: the structural bound proved they
 	// cannot enter the top-K.
 	Skipped int64
+	// BandsChecked counts per-band bound evaluations; BandsSkipped counts
+	// how many certified a skip — together they read out how tight the
+	// per-band degree and norm ranges are on this world.
+	BandsChecked int64
+	// BandsSkipped counts band bound evaluations that certified skipping
+	// every zero-overlap member of the band.
+	BandsSkipped int64
 }
 
 // PruneStats snapshots the world's pruning counters; the zero value (with
@@ -497,12 +510,15 @@ func (w *PreparedWorld) PruneStats() PruneStats {
 	}
 	s := w.pruneStats.Snapshot()
 	return PruneStats{
-		Enabled:    true,
-		Queries:    s.Queries,
-		Fallbacks:  s.Fallbacks,
-		Candidates: s.Candidates,
-		Scanned:    s.Scanned,
-		Skipped:    s.Skipped,
+		Enabled:      true,
+		Queries:      s.Queries,
+		Fallbacks:    s.Fallbacks,
+		DenseQueries: s.DenseQueries,
+		Candidates:   s.Candidates,
+		Scanned:      s.Scanned,
+		Skipped:      s.Skipped,
+		BandsChecked: s.BandsChecked,
+		BandsSkipped: s.BandsSkipped,
 	}
 }
 
@@ -669,11 +685,14 @@ func (b serveBackend) Sizes() (int, int) { return b.w.Sizes() }
 func (b serveBackend) PruneCounters() (serve.PruneCounters, bool) {
 	s := b.w.PruneStats()
 	return serve.PruneCounters{
-		Queries:    s.Queries,
-		Fallbacks:  s.Fallbacks,
-		Candidates: s.Candidates,
-		Scanned:    s.Scanned,
-		Skipped:    s.Skipped,
+		Queries:      s.Queries,
+		Fallbacks:    s.Fallbacks,
+		DenseQueries: s.DenseQueries,
+		Candidates:   s.Candidates,
+		Scanned:      s.Scanned,
+		Skipped:      s.Skipped,
+		BandsChecked: s.BandsChecked,
+		BandsSkipped: s.BandsSkipped,
 	}, s.Enabled
 }
 func (b serveBackend) ShardSizes() []serve.ShardCount {

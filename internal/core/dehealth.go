@@ -264,10 +264,10 @@ func (p *Pipeline) topKDirect(k int, trueMapping map[int]int) *TopKResult {
 		go func() {
 			defer wg.Done()
 			row := make([]float64, n2)
+			var prof similarity.QueryProfile
 			for u := range rows {
-				for v := 0; v < n2; v++ {
-					row[v] = p.Scorer.Score(u, v)
-				}
+				p.Scorer.PrepareQuery(u, &prof)
+				p.Scorer.ScoreRange(&prof, 0, n2, row)
 				res.Candidates[u] = topCandidates(row, k)
 				res.MeanScore[u] = meanScore(res.Candidates[u])
 				maxs[u], mins[u] = rowExtremes(row)
@@ -785,16 +785,18 @@ func (p *Pipeline) baselineUser(u int, clf ml.Classifier, n2 int, opt RefineOpti
 		return -1
 	}
 	if opt.Scheme == MeanVerification {
+		var prof similarity.QueryProfile
+		p.Scorer.PrepareQuery(u, &prof)
 		mean, rowMin := 0.0, 0.0
 		for v := 0; v < n2; v++ {
-			s := p.Scorer.Score(u, v)
+			s := p.Scorer.ScoreWith(&prof, v)
 			mean += s
 			if v == 0 || s < rowMin {
 				rowMin = s
 			}
 		}
 		mean /= float64(n2)
-		if !verifyMean(p.Scorer.Score(u, best), mean, rowMin, opt.R) {
+		if !verifyMean(p.Scorer.ScoreWith(&prof, best), mean, rowMin, opt.R) {
 			return -1
 		}
 	}

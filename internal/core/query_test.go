@@ -112,7 +112,10 @@ func TestQueryAppendedUserMatchesTopK(t *testing.T) {
 // TestQueryUserAllocBounds verifies the serving guarantee behind QueryUser:
 // per-query heap allocation is O(K) and in particular far below one
 // similarity-matrix row (|V2| float64s), so the hot path cannot silently
-// regress into materializing rows.
+// regress into materializing rows. The allocation *count* is pinned too:
+// the flat scoring kernel (PrepareQuery + blocked ScoreRange) contributes
+// zero allocations per row, leaving only the bounded heap, its result
+// slice and the final sort — 4 allocs/op on a single-shard pipeline.
 func TestQueryUserAllocBounds(t *testing.T) {
 	split := world(t, 60, 6, 0.5, 51)
 	p := queryPipeline(split, 5)
@@ -131,6 +134,10 @@ func TestQueryUserAllocBounds(t *testing.T) {
 	rowBytes := uint64(n2) * 8
 	if perOp >= rowBytes {
 		t.Fatalf("QueryUser allocates %d B/op, not below one matrix row (%d B)", perOp, rowBytes)
+	}
+	perOpAllocs := (after.Mallocs - before.Mallocs) / rounds
+	if perOpAllocs > 4 {
+		t.Fatalf("QueryUser allocates %d times/op, want <= 4 (heap, result, sort bookkeeping; the scoring kernel itself must allocate nothing)", perOpAllocs)
 	}
 }
 

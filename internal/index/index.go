@@ -24,6 +24,7 @@
 package index
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,11 +32,25 @@ import (
 	"dehealth/internal/stylometry"
 )
 
+// foldRange widens [*lo, *hi] to cover v.
+func foldRange(lo, hi *float64, v float64) {
+	if v < *lo {
+		*lo = v
+	}
+	if v > *hi {
+		*hi = v
+	}
+}
+
 // Config tunes candidate pruning. The zero value takes the defaults.
 type Config struct {
-	// MaxCandidateFrac falls the query back to a full window scan when the
-	// candidate set exceeds this fraction of the window (pruning overhead
-	// would exceed its savings on dense-overlap populations). Default 0.5.
+	// MaxCandidateFrac classifies a query as dense when its candidate set
+	// exceeds this fraction of the window (counted under
+	// Stats.DenseQueries). Dense queries still run the banded engine —
+	// since the candidates are scored either way, finishing with the band
+	// scan never exact-scores more users than the full scan the engine
+	// used to fall back to, and the per-band norm ranges can still certify
+	// partial skips over the zero-overlap remainder. Default 0.5.
 	MaxCandidateFrac float64
 	// Bands is the number of degree bands the window is cut into for the
 	// structural-term bounds. More bands give tighter per-band degree
@@ -66,9 +81,23 @@ type Source interface {
 	WeightedDegree(u int) float64
 }
 
+// NormSource is the optional Source extension supplying the precomputed
+// L2 norms of each user's NCS, hop-closeness and weighted-closeness
+// vectors — the same norm factors the flat scoring kernel divides by.
+// When the source implements it, Build records per-band norm ranges that
+// tighten the structural score bound (a band whose max norm is 0 provably
+// contributes 0 for that cosine term); otherwise the ranges are recorded
+// as unknown ([0, +Inf]) and the bound degrades to the cosine-≤-1 form.
+type NormSource interface {
+	NCSNorm(u int) float64
+	CloseNorm(u int) float64
+	WclNorm(u int) float64
+}
+
 // Band is a group of window-local users with adjacent degrees. DegLo..Hi
-// and WdegLo..Hi bound every member's degree and weighted degree, so a
-// single ScoreBoundNoAttr call bounds the score of every member that
+// and WdegLo..Hi bound every member's degree and weighted degree, and the
+// norm ranges bound the members' NCS/closeness vector norms, so a single
+// similarity.ScoreBoundBand call bounds the score of every member that
 // shares no attribute with the query user.
 type Band struct {
 	// IDs lists the band's window-local user ids in ascending order.
@@ -77,6 +106,15 @@ type Band struct {
 	DegLo, DegHi float64
 	// WdegLo and WdegHi bound the members' weighted degrees.
 	WdegLo, WdegHi float64
+	// NCSNormLo and NCSNormHi bound the members' NCS vector L2 norms;
+	// [0, +Inf] when the build source carried no norms (see NormSource).
+	NCSNormLo, NCSNormHi float64
+	// CloseNormLo and CloseNormHi bound the members' hop-closeness vector
+	// L2 norms.
+	CloseNormLo, CloseNormHi float64
+	// WclNormLo and WclNormHi bound the members' weighted-closeness vector
+	// L2 norms.
+	WclNormLo, WclNormHi float64
 }
 
 // Index is the frozen per-window pruning structure: attribute postings
@@ -140,6 +178,7 @@ func Build(src Source, cfg Config) *Index {
 	if n == 0 {
 		return x
 	}
+	norms, _ := src.(NormSource)
 	x.bands = make([]Band, 0, nb)
 	for i := 0; i < nb; i++ {
 		lo, hi := i*n/nb, (i+1)*n/nb
@@ -150,19 +189,22 @@ func Build(src Source, cfg Config) *Index {
 		b.DegLo, b.WdegLo = src.Degree(int(b.IDs[0])), src.WeightedDegree(int(b.IDs[0]))
 		b.DegHi, b.WdegHi = b.DegLo, b.WdegLo
 		for _, id := range b.IDs[1:] {
-			d, wd := src.Degree(int(id)), src.WeightedDegree(int(id))
-			if d < b.DegLo {
-				b.DegLo = d
+			foldRange(&b.DegLo, &b.DegHi, src.Degree(int(id)))
+			foldRange(&b.WdegLo, &b.WdegHi, src.WeightedDegree(int(id)))
+		}
+		if norms != nil {
+			first := int(b.IDs[0])
+			b.NCSNormLo, b.NCSNormHi = norms.NCSNorm(first), norms.NCSNorm(first)
+			b.CloseNormLo, b.CloseNormHi = norms.CloseNorm(first), norms.CloseNorm(first)
+			b.WclNormLo, b.WclNormHi = norms.WclNorm(first), norms.WclNorm(first)
+			for _, id := range b.IDs[1:] {
+				foldRange(&b.NCSNormLo, &b.NCSNormHi, norms.NCSNorm(int(id)))
+				foldRange(&b.CloseNormLo, &b.CloseNormHi, norms.CloseNorm(int(id)))
+				foldRange(&b.WclNormLo, &b.WclNormHi, norms.WclNorm(int(id)))
 			}
-			if d > b.DegHi {
-				b.DegHi = d
-			}
-			if wd < b.WdegLo {
-				b.WdegLo = wd
-			}
-			if wd > b.WdegHi {
-				b.WdegHi = wd
-			}
+		} else {
+			inf := math.Inf(1)
+			b.NCSNormHi, b.CloseNormHi, b.WclNormHi = inf, inf, inf
 		}
 		sort.Slice(b.IDs, func(a, c int) bool { return b.IDs[a] < b.IDs[c] })
 		x.bands = append(x.bands, b)
@@ -278,8 +320,15 @@ type Stats struct {
 	// Queries counts per-shard pruned-path invocations.
 	Queries int64
 	// Fallbacks counts invocations that bailed to the full window scan
-	// (candidate set above MaxCandidateFrac, or no index).
+	// (no index, or a non-prune-safe similarity configuration).
 	Fallbacks int64
+	// DenseQueries counts invocations whose candidate set exceeded
+	// MaxCandidateFrac of the window. They still run the banded engine —
+	// the candidate rescore plus band scan never exact-scores more users
+	// than the full scan it would otherwise repeat — but most of their
+	// cost is the rescore, so the counter labels how often pruning ran in
+	// the dense regime where only partial band skips are available.
+	DenseQueries int64
 	// Candidates sums the candidate-set sizes of non-fallback invocations.
 	Candidates int64
 	// Scanned sums the band members exact-scored because their band's
@@ -289,16 +338,26 @@ type Stats struct {
 	// Skipped sums the users never scored: their band's structural bound
 	// proved they cannot enter the top-K.
 	Skipped int64
+	// BandsChecked counts per-band bound evaluations (one ScoreBoundBand
+	// call each); BandsSkipped counts how many of those certified a skip.
+	// Their ratio is the direct read on how tight the band bounds are.
+	BandsChecked int64
+	// BandsSkipped counts bound evaluations that certified skipping the
+	// band's zero-overlap members.
+	BandsSkipped int64
 }
 
 // Snapshot returns an atomically read copy of the counters, safe to take
 // while queries are updating them.
 func (s *Stats) Snapshot() Stats {
 	return Stats{
-		Queries:    atomic.LoadInt64(&s.Queries),
-		Fallbacks:  atomic.LoadInt64(&s.Fallbacks),
-		Candidates: atomic.LoadInt64(&s.Candidates),
-		Scanned:    atomic.LoadInt64(&s.Scanned),
-		Skipped:    atomic.LoadInt64(&s.Skipped),
+		Queries:      atomic.LoadInt64(&s.Queries),
+		Fallbacks:    atomic.LoadInt64(&s.Fallbacks),
+		DenseQueries: atomic.LoadInt64(&s.DenseQueries),
+		Candidates:   atomic.LoadInt64(&s.Candidates),
+		Scanned:      atomic.LoadInt64(&s.Scanned),
+		Skipped:      atomic.LoadInt64(&s.Skipped),
+		BandsChecked: atomic.LoadInt64(&s.BandsChecked),
+		BandsSkipped: atomic.LoadInt64(&s.BandsSkipped),
 	}
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -176,6 +177,68 @@ func TestBandsPartitionAndBound(t *testing.T) {
 	}
 	if total != src.NumUsers() {
 		t.Fatalf("bands cover %d users, want %d", total, src.NumUsers())
+	}
+}
+
+// normedSource extends fakeSource with explicit per-user vector norms,
+// exercising the NormSource build path.
+type normedSource struct {
+	fakeSource
+	ncs, close, wcl []float64
+}
+
+func (f normedSource) NCSNorm(u int) float64   { return f.ncs[u] }
+func (f normedSource) CloseNorm(u int) float64 { return f.close[u] }
+func (f normedSource) WclNorm(u int) float64   { return f.wcl[u] }
+
+// TestBandNormRanges checks the per-band norm ranges: a NormSource build
+// must record exact min/max member norms per band, and a plain Source
+// build must record them as unknown ([0, +Inf]) so the score bound
+// degrades to the cosine-≤-1 form instead of unsoundly tightening.
+func TestBandNormRanges(t *testing.T) {
+	base := randomSource(90, 30, 3, 5)
+	src := normedSource{
+		fakeSource: base,
+		ncs:        make([]float64, base.NumUsers()),
+		close:      make([]float64, base.NumUsers()),
+		wcl:        make([]float64, base.NumUsers()),
+	}
+	rng := rand.New(rand.NewSource(6))
+	for u := range src.ncs {
+		if rng.Intn(4) > 0 { // leave ~a quarter at zero, the tightening case
+			src.ncs[u] = rng.Float64() * 5
+			src.close[u] = rng.Float64() * 2
+			src.wcl[u] = rng.Float64()
+		}
+	}
+	x := Build(src, Config{Bands: 6})
+	for _, b := range x.Bands() {
+		wantRange := func(name string, lo, hi float64, norm func(int) float64) {
+			mn, mx := norm(int(b.IDs[0])), norm(int(b.IDs[0]))
+			for _, id := range b.IDs[1:] {
+				if v := norm(int(id)); v < mn {
+					mn = v
+				} else if v > mx {
+					mx = v
+				}
+			}
+			if lo != mn || hi != mx {
+				t.Fatalf("%s range [%v, %v], want [%v, %v]", name, lo, hi, mn, mx)
+			}
+		}
+		wantRange("ncs", b.NCSNormLo, b.NCSNormHi, src.NCSNorm)
+		wantRange("close", b.CloseNormLo, b.CloseNormHi, src.CloseNorm)
+		wantRange("wcl", b.WclNormLo, b.WclNormHi, src.WclNorm)
+	}
+
+	// A source without norms must leave the ranges unknown-wide.
+	plain := Build(base, Config{Bands: 6})
+	for _, b := range plain.Bands() {
+		if b.NCSNormLo != 0 || !math.IsInf(b.NCSNormHi, 1) ||
+			b.CloseNormLo != 0 || !math.IsInf(b.CloseNormHi, 1) ||
+			b.WclNormLo != 0 || !math.IsInf(b.WclNormHi, 1) {
+			t.Fatalf("norm-less build must record unknown ranges: %+v", b)
+		}
 	}
 }
 

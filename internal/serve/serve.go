@@ -57,11 +57,14 @@ type ShardCount struct {
 // population the attribute inverted index let queries skip. Pruning never
 // changes results — only the amount of scanning.
 type PruneCounters struct {
-	Queries    int64 `json:"queries"`
-	Fallbacks  int64 `json:"fallbacks"`
-	Candidates int64 `json:"candidates"`
-	Scanned    int64 `json:"scanned"`
-	Skipped    int64 `json:"skipped"`
+	Queries      int64 `json:"queries"`
+	Fallbacks    int64 `json:"fallbacks"`
+	DenseQueries int64 `json:"dense_queries"`
+	Candidates   int64 `json:"candidates"`
+	Scanned      int64 `json:"scanned"`
+	Skipped      int64 `json:"skipped"`
+	BandsChecked int64 `json:"bands_checked"`
+	BandsSkipped int64 `json:"bands_skipped"`
 }
 
 // PruneStatser is the optional Backend extension for candidate-pruning

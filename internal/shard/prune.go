@@ -1,14 +1,20 @@
 // Candidate-pruned shard queries. Each shard can own an attribute
 // inverted index over its auxiliary window (internal/index); the pruned
 // top-K path gathers the query user's attribute postings, exact-rescores
-// only those candidates with the unchanged Scorer.Score, and skips every
+// only those candidates with the unchanged flat scoring kernel
+// (ScoreWith under one prepared QueryProfile), and skips every
 // zero-overlap user whose degree band's structural score bound
-// (similarity.ScoreBoundNoAttr) provably falls below the current K-th
-// score. Whenever the proof does not cover a user — the candidate set is
-// too large, the heap is not yet full, or a band's bound reaches the
-// threshold — that user is scanned exactly, so the pruned path returns
-// results bit-identical to Shard.TopK at every configuration. Pruning is
-// an opt-in view of a World (WithPruning); the unpruned path is untouched.
+// (similarity.ScoreBoundBand, tightened by the band's NCS/closeness norm
+// ranges) provably falls below the current K-th score. Whenever the proof
+// does not cover a user — the heap is not yet full, or a band's bound
+// reaches the threshold — that user is scanned exactly, so the pruned
+// path returns results bit-identical to Shard.TopK at every
+// configuration. Dense candidate sets (above MaxCandidateFrac of the
+// window) no longer force a full-scan fallback: the candidates are scored
+// either way, so the banded remainder costs no more exact scores than the
+// fallback did while the tightened bounds can still skip zero-overlap
+// bands. Pruning is an opt-in view of a World (WithPruning); the unpruned
+// path is untouched.
 
 package shard
 
@@ -21,15 +27,32 @@ import (
 	"dehealth/internal/stylometry"
 )
 
-// scorerSource adapts a shard's scorer window to index.Source: the index
-// is built from exactly the frozen aux-side values the scoring hot loop
-// reads, so postings and bands can never drift from scoring.
+// scorerSource adapts a shard's scorer window to index.Source (and its
+// NormSource extension): the index is built from exactly the frozen
+// aux-side values — including the precomputed vector norms — the scoring
+// hot loop reads, so postings, bands and norm ranges can never drift from
+// scoring.
 type scorerSource struct{ s *similarity.Scorer }
 
 func (a scorerSource) NumUsers() int                  { return a.s.AuxUsers() }
 func (a scorerSource) Attrs(u int) stylometry.AttrSet { return a.s.AuxAttrs(u) }
 func (a scorerSource) Degree(u int) float64           { return a.s.AuxDegree(u) }
 func (a scorerSource) WeightedDegree(u int) float64   { return a.s.AuxWeightedDegree(u) }
+func (a scorerSource) NCSNorm(u int) float64          { return a.s.AuxNCSNorm(u) }
+func (a scorerSource) CloseNorm(u int) float64        { return a.s.AuxCloseNorm(u) }
+func (a scorerSource) WclNorm(u int) float64          { return a.s.AuxWclNorm(u) }
+
+// bandStats projects an index band's ranges into the similarity layer's
+// bound input.
+func bandStats(b *index.Band) similarity.BandStats {
+	return similarity.BandStats{
+		DegLo: b.DegLo, DegHi: b.DegHi,
+		WdegLo: b.WdegLo, WdegHi: b.WdegHi,
+		NCSNormLo: b.NCSNormLo, NCSNormHi: b.NCSNormHi,
+		CloseNormLo: b.CloseNormLo, CloseNormHi: b.CloseNormHi,
+		WclNormLo: b.WclNormLo, WclNormHi: b.WclNormHi,
+	}
+}
 
 // BuildIndex builds the shard's attribute inverted index and degree bands
 // over its scorer window. Idempotent in effect: the aux side is immutable,
@@ -62,16 +85,20 @@ func (sh *Shard) TopKPruned(u, k int, cfg index.Config, st *index.Stats) []Candi
 	defer x.ReleaseScratch(s)
 	cands := x.Candidates(sh.Scorer.AnonAttrs(u), s)
 	if float64(len(cands)) > cfg.MaxCandidateFrac*float64(n) {
-		// Dense overlap: the candidate set would not amortize the pruning
-		// bookkeeping. The plain scan is the same work without it.
-		atomic.AddInt64(&st.Fallbacks, 1)
-		return sh.TopK(u, k)
+		// Dense overlap: the candidate rescore is most of a full scan, so
+		// pruning can only win at the margin — but it can never lose: the
+		// banded remainder below exact-scores at most the users a full
+		// scan would, and the norm-tightened bounds may still certify
+		// skipping whole zero-overlap bands. Label the query and proceed.
+		atomic.AddInt64(&st.DenseQueries, 1)
 	}
 	atomic.AddInt64(&st.Candidates, int64(len(cands)))
 
+	var prof similarity.QueryProfile
+	sh.Scorer.PrepareQuery(u, &prof)
 	h := make(candidateHeap, 0, k)
 	push := func(j int32) {
-		c := Candidate{User: sh.Lo + int(j), Score: sh.Scorer.Score(u, int(j))}
+		c := Candidate{User: sh.Lo + int(j), Score: sh.Scorer.ScoreWith(&prof, int(j))}
 		if len(h) < k {
 			h = append(h, c)
 			h.up(len(h) - 1)
@@ -92,16 +119,20 @@ func (sh *Shard) TopKPruned(u, k int, cfg index.Config, st *index.Stats) []Candi
 	// scan — an equal-scoring smaller id would displace the heap root. A
 	// skipped or candidate-free band is never visited, so query cost is
 	// O(candidates + uncertified band members), not O(window).
-	var scanned, skipped int64
-	for bi, b := range x.Bands() {
+	var scanned, skipped, checked, bskipped int64
+	bands := x.Bands()
+	for bi := range bands {
+		b := &bands[bi]
 		nonCand := int64(len(b.IDs) - s.BandCandidates(bi))
 		if nonCand == 0 {
 			continue
 		}
 		if len(h) == k {
-			bound := sh.Scorer.ScoreBoundNoAttr(u, b.DegLo, b.DegHi, b.WdegLo, b.WdegHi)
+			checked++
+			bound := sh.Scorer.ScoreBoundBand(&prof, bandStats(b))
 			if bound < h[0].Score {
 				skipped += nonCand
+				bskipped++
 				continue
 			}
 		}
@@ -114,6 +145,8 @@ func (sh *Shard) TopKPruned(u, k int, cfg index.Config, st *index.Stats) []Candi
 	}
 	atomic.AddInt64(&st.Scanned, scanned)
 	atomic.AddInt64(&st.Skipped, skipped)
+	atomic.AddInt64(&st.BandsChecked, checked)
+	atomic.AddInt64(&st.BandsSkipped, bskipped)
 
 	out := []Candidate(h)
 	sortCandidates(out)

@@ -1,8 +1,12 @@
 package shard
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
+	"dehealth/internal/corpus"
+	"dehealth/internal/features"
 	"dehealth/internal/graph"
 	"dehealth/internal/index"
 	"dehealth/internal/similarity"
@@ -61,23 +65,51 @@ func TestPrunedParitySparse(t *testing.T) {
 	}
 }
 
-// TestPrunedParityDense drives the pruned engine over a real text world,
-// where stylometric attribute overlap is dense and most queries exceed
-// MaxCandidateFrac — the fallback path — and checks parity there too.
+// TestPrunedParityDense drives the pruned engine over a real text world
+// where stylometric attribute overlap is dense (most queries exceed
+// MaxCandidateFrac) plus a handful of "lurker" auxiliary accounts whose
+// single empty post carries no stylometric attributes. Dense queries no
+// longer fall back to the full scan: the candidate set is rescored and
+// the zero-overlap lurkers' bands — whose norm ranges prove their NCS and
+// closeness vectors are all-zero — are skipped under the tightened band
+// bound. Parity with the full scan must hold throughout.
 func TestPrunedParityDense(t *testing.T) {
-	auxS, auxUDA, base, anonN := testWorld(t, 24, 6, 31)
-	full := New(base, auxUDA, auxS, 1)
+	u := synth.NewUniverse(24, 31)
+	rng := rand.New(rand.NewSource(32))
+	members := synth.Members(u, 24, rng)
+	cfg := synth.WebMDLike(24, 33)
+	cfg.FixedPosts = 6
+	d := synth.Generate(cfg, u, members)
+	split := corpus.SplitClosedWorld(d, 0.5, rand.New(rand.NewSource(34)))
+	for i := 0; i < 4; i++ {
+		id := len(split.Aux.Users)
+		tid := len(split.Aux.Threads)
+		split.Aux.Users = append(split.Aux.Users, corpus.User{ID: id, Name: fmt.Sprintf("lurker%d", i), TrueIdentity: -1})
+		split.Aux.Threads = append(split.Aux.Threads, corpus.Thread{ID: tid, Board: "b", Starter: id})
+		split.Aux.Posts = append(split.Aux.Posts, corpus.Post{ID: len(split.Aux.Posts), User: id, Thread: tid, Text: ""})
+	}
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	base := similarity.NewScorer(anonS.UDA(), auxS.UDA(), similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5})
+	anonN := anonS.UDA().NumNodes()
+
+	full := New(base, auxS.UDA(), auxS, 1)
 	st := &index.Stats{}
-	pruned := New(base, auxUDA, auxS, 3).WithPruning(index.Config{}, st)
+	pruned := New(base, auxS.UDA(), auxS, 3).WithPruning(index.Config{}, st)
 	for u := 0; u < anonN; u++ {
-		candidatesEqual(t, pruned.QueryUser(u, 7), full.QueryUser(u, 7), "dense pruned parity")
+		candidatesEqual(t, pruned.QueryUser(u, 5), full.QueryUser(u, 5), "dense pruned parity")
 	}
 	s := pruned.PruneStats()
 	if s.Queries == 0 {
 		t.Fatal("pruned queries not counted")
 	}
-	if s.Fallbacks == 0 {
-		t.Fatalf("dense stylometric world should exercise the fallback: %+v", s)
+	if s.DenseQueries == 0 {
+		t.Fatalf("dense stylometric world should classify queries as dense: %+v", s)
+	}
+	if s.Fallbacks != 0 {
+		t.Fatalf("dense queries must run the banded engine, not fall back: %+v", s)
+	}
+	if s.Skipped == 0 {
+		t.Fatalf("zero-attribute lurkers should be skipped under the norm-tightened band bound: %+v", s)
 	}
 }
 

@@ -7,6 +7,18 @@
 // decomposition Score uses, inflated by a small safety margin so floating-
 // point rounding in the exact path can never exceed it. A conservative
 // bound costs only extra scanning, never correctness.
+//
+// Beyond the degree/weighted-degree ranges, a band can carry the min/max
+// L2 norms of its members' NCS and closeness vectors (BandStats). Cosine
+// similarity is scale-invariant, so nonzero norm ranges cannot pull a
+// cosine bound below 1 — but the zero/nonzero distinction can: a cosine
+// against an all-zero vector is exactly 0 (that is Cosine's convention),
+// so whenever the band's max norm is 0, or the query side's own norm is 0,
+// the corresponding cosine term drops out of the bound entirely. On the
+// sparse disconnected correlation graphs the paper describes (Fig.7),
+// whole bands of isolated or landmark-unreachable users lose their
+// distance-similarity headroom this way, which is what turns near-miss
+// bands into certified skips.
 
 package similarity
 
@@ -71,6 +83,19 @@ func (s *Scorer) AuxDegree(j int) float64 { return s.ax.deg[j] }
 // weighted degree.
 func (s *Scorer) AuxWeightedDegree(j int) float64 { return s.ax.wdeg[j] }
 
+// AuxNCSNorm returns the precomputed L2 norm of window-local auxiliary
+// user j's NCS vector — the value the scoring kernel divides by, so band
+// norm ranges built from it can never drift from scoring.
+func (s *Scorer) AuxNCSNorm(j int) float64 { return s.ax.ncsNorm[j] }
+
+// AuxCloseNorm returns the precomputed L2 norm of window-local auxiliary
+// user j's hop-closeness vector.
+func (s *Scorer) AuxCloseNorm(j int) float64 { return s.ax.closeNorm[j] }
+
+// AuxWclNorm returns the precomputed L2 norm of window-local auxiliary
+// user j's weighted-closeness vector.
+func (s *Scorer) AuxWclNorm(j int) float64 { return s.ax.wclNorm[j] }
+
 // PruneSafe reports whether the scorer's configuration admits safe
 // candidate pruning: all three component weights must be non-negative,
 // since the band bounds multiply per-component upper bounds by the weights
@@ -81,22 +106,67 @@ func (s *Scorer) PruneSafe() bool {
 	return s.cfg.C1 >= 0 && s.cfg.C2 >= 0 && s.cfg.C3 >= 0
 }
 
-// ScoreBoundNoAttr returns an upper bound on Score(u, v) over every
-// auxiliary user v that (a) shares no attribute with u — so both Jaccard
-// terms of AttrSim are exactly zero — and (b) has degree in [degLo, degHi]
-// and weighted degree in [wdegLo, wdegHi]. The cosine terms of the degree
-// and distance similarities are bounded by 1 (all NCS and closeness
-// entries are non-negative); the ratio terms by RatioSimBound over the
-// band's ranges. The result carries the safety margin, so a strict
-// comparison kthScore > bound certifies that no such v can displace any
-// of the current top-K. Returns +Inf when the configuration is not
-// prune-safe, which forces the caller to scan.
-func (s *Scorer) ScoreBoundNoAttr(u int, degLo, degHi, wdegLo, wdegHi float64) float64 {
+// BandStats carries a degree band's per-member ranges for the structural
+// score bound: degree and weighted-degree intervals, plus the min/max L2
+// norms of the members' NCS, hop-closeness and weighted-closeness vectors.
+// The norm minima are not consulted by the bound (cosines are
+// scale-invariant; only "is any member nonzero" matters, which the maxima
+// answer) but are part of the band summary the index stores. Unknown norm
+// ranges are expressed as NormHi = +Inf, which degrades each cosine bound
+// to 1 — the pre-norm-range behavior.
+type BandStats struct {
+	DegLo, DegHi             float64
+	WdegLo, WdegHi           float64
+	NCSNormLo, NCSNormHi     float64
+	CloseNormLo, CloseNormHi float64
+	WclNormLo, WclNormHi     float64
+}
+
+// cosBound bounds a cosine term over a band: 0 when the query vector is
+// all-zero (its cosine against anything is exactly 0) or every band
+// member's vector is all-zero (max norm 0), else 1.
+func cosBound(queryNorm, bandNormHi float64) float64 {
+	if queryNorm == 0 || bandNormHi == 0 {
+		return 0
+	}
+	return 1
+}
+
+// ScoreBoundBand returns an upper bound on Score(p.User(), v) over every
+// auxiliary user v that (a) shares no attribute with the query user — so
+// both Jaccard terms of AttrSim are exactly zero — and (b) falls inside
+// the band's degree, weighted-degree and vector-norm ranges. The ratio
+// terms are bounded by RatioSimBound over the band's intervals; each
+// cosine term by cosBound, which is 0 whenever either side of that cosine
+// is provably all-zero and 1 otherwise. The result carries the safety
+// margin, so a strict comparison kthScore > bound certifies that no such
+// v can displace any of the current top-K. Returns +Inf when the
+// configuration is not prune-safe, which forces the caller to scan.
+func (s *Scorer) ScoreBoundBand(p *QueryProfile, b BandStats) float64 {
 	if !s.PruneSafe() {
 		return math.Inf(1)
 	}
-	degSim := RatioSimBound(float64(s.g1.Degree(u)), degLo, degHi) +
-		RatioSimBound(s.g1.WeightedDegree(u), wdegLo, wdegHi) + 1
-	const distSim = 2 // two cosines over non-negative closeness vectors
+	degSim := RatioSimBound(p.deg, b.DegLo, b.DegHi) +
+		RatioSimBound(p.wdeg, b.WdegLo, b.WdegHi) +
+		cosBound(p.ncsNorm, b.NCSNormHi)
+	distSim := cosBound(p.closeNorm, b.CloseNormHi) + cosBound(p.wclNorm, b.WclNormHi)
 	return inflate(s.cfg.C1*degSim + s.cfg.C2*distSim)
+}
+
+// ScoreBoundNoAttr is ScoreBoundBand with unknown norm ranges: an upper
+// bound on Score(u, v) over every zero-attribute-overlap v with degree in
+// [degLo, degHi] and weighted degree in [wdegLo, wdegHi], each cosine
+// bounded by 1 (or 0 when the query side's own vector is all-zero).
+// Callers holding per-band norm ranges get strictly tighter bounds from
+// ScoreBoundBand.
+func (s *Scorer) ScoreBoundNoAttr(u int, degLo, degHi, wdegLo, wdegHi float64) float64 {
+	var p QueryProfile
+	s.PrepareQuery(u, &p)
+	return s.ScoreBoundBand(&p, BandStats{
+		DegLo: degLo, DegHi: degHi,
+		WdegLo: wdegLo, WdegHi: wdegHi,
+		NCSNormHi:   math.Inf(1),
+		CloseNormHi: math.Inf(1),
+		WclNormHi:   math.Inf(1),
+	})
 }

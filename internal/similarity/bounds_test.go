@@ -82,6 +82,70 @@ func TestScoreBoundWideBands(t *testing.T) {
 	}
 }
 
+// TestScoreBoundBandCoversScores is the safety property of the
+// norm-tightened band bound: with each auxiliary user's exact degree,
+// weighted degree and vector norms as a singleton band, the bound must
+// still cover the exact score of every zero-attribute-overlap pair — and
+// must be no looser than the norm-less ScoreBoundNoAttr.
+func TestScoreBoundBandCoversScores(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	for u := range g2.Attrs {
+		g2.Attrs[u].Idx = nil
+		g2.Attrs[u].Weight = nil
+	}
+	for _, cfg := range []Config{
+		{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 2},
+		{C1: 1, C2: 0, C3: 0, Landmarks: 2},
+		{C1: 0, C2: 1, C3: 0, Landmarks: 2},
+		{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 2},
+	} {
+		s := NewScorer(g1, g2, cfg)
+		var p QueryProfile
+		for u := 0; u < g1.NumNodes(); u++ {
+			s.PrepareQuery(u, &p)
+			for v := 0; v < g2.NumNodes(); v++ {
+				d, wd := s.AuxDegree(v), s.AuxWeightedDegree(v)
+				b := BandStats{
+					DegLo: d, DegHi: d, WdegLo: wd, WdegHi: wd,
+					NCSNormLo: s.AuxNCSNorm(v), NCSNormHi: s.AuxNCSNorm(v),
+					CloseNormLo: s.AuxCloseNorm(v), CloseNormHi: s.AuxCloseNorm(v),
+					WclNormLo: s.AuxWclNorm(v), WclNormHi: s.AuxWclNorm(v),
+				}
+				bound := s.ScoreBoundBand(&p, b)
+				if got := s.Score(u, v); got > bound {
+					t.Fatalf("cfg %+v: Score(%d,%d) = %v above band bound %v", cfg, u, v, got, bound)
+				}
+				if loose := s.ScoreBoundNoAttr(u, d, d, wd, wd); bound > loose {
+					t.Fatalf("cfg %+v: norm-tightened bound %v looser than norm-less %v", cfg, bound, loose)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreBoundBandZeroNorms pins the actual tightening: a band of
+// isolated, landmark-unreachable users (all vector norms zero) must bound
+// strictly below the norm-less bound — every cosine term drops out,
+// leaving only the ratio terms.
+func TestScoreBoundBandZeroNorms(t *testing.T) {
+	g1, g2 := twoForumWorld()
+	s := NewScorer(g1, g2, Config{C1: 0.3, C2: 0.3, C3: 0.4, Landmarks: 2})
+	var p QueryProfile
+	s.PrepareQuery(0, &p)
+	zero := BandStats{DegLo: 1, DegHi: 2, WdegLo: 1, WdegHi: 2}
+	loose := s.ScoreBoundNoAttr(0, 1, 2, 1, 2)
+	tight := s.ScoreBoundBand(&p, zero)
+	if tight >= loose {
+		t.Fatalf("zero-norm band bound %v not strictly below norm-less bound %v", tight, loose)
+	}
+	// The dropped headroom is exactly the three cosine terms: only the two
+	// ratio bounds survive.
+	want := inflate(0.3 * (RatioSimBound(p.deg, 1, 2) + RatioSimBound(p.wdeg, 1, 2)))
+	if tight != want {
+		t.Fatalf("zero-norm bound = %v, want %v", tight, want)
+	}
+}
+
 // TestPruneSafe pins the negative-weight guard: unsafe configurations
 // must refuse to certify anything.
 func TestPruneSafe(t *testing.T) {

@@ -8,6 +8,14 @@
 // distance vectors to the top-degree landmark users), and s^a is the
 // attribute similarity (Jaccard + weighted Jaccard of the UDA attribute
 // sets).
+//
+// The scoring hot path is a flat kernel (see kernel.go): all per-node
+// vectors live in contiguous row-major matrices with their L2 norms
+// precomputed, a query prepares its anonymized-side state once
+// (PrepareQuery), and per-pair work reduces to dot products and one fused
+// attribute merge over dense precomputed state — bit-identical to the
+// retained naive reference (ScoreSlow), per the parity contract in
+// docs/ARCHITECTURE.md.
 package similarity
 
 import (
@@ -36,16 +44,17 @@ func DefaultConfig() Config {
 
 // Scorer computes similarities between users of an anonymized UDA graph G1
 // and an auxiliary UDA graph G2. Construction precomputes NCS vectors and
-// landmark closeness vectors for both sides; the auxiliary side's degree,
-// weighted-degree and attribute reads are additionally frozen into dense
-// arrays (the aux world is immutable — only the anonymized side grows), so
-// the scoring hot loop touches precomputed state only.
+// landmark closeness vectors for both sides in flat row-major layouts with
+// per-node norms; the auxiliary side's degree, weighted-degree and
+// attribute reads are additionally frozen into dense arrays (the aux world
+// is immutable — only the anonymized side grows), so the scoring hot loop
+// touches precomputed contiguous state only.
 //
 // A Scorer can be windowed: Shard restricts the auxiliary side to a
 // contiguous global-id range whose caches are slice views of the base
-// scorer's arrays, scoring bit-identically to the base on that range. The
-// shard engine builds one window per partition so each shard walks its own
-// contiguous cache region.
+// scorer's flat arrays, scoring bit-identically to the base on that range.
+// The shard engine builds one window per partition so each shard walks its
+// own contiguous cache region.
 type Scorer struct {
 	cfg    Config
 	g1, g2 *graph.UDA
@@ -54,52 +63,102 @@ type Scorer struct {
 	window bool // true when this scorer is a Shard view of a base scorer
 }
 
-// scorerCaches holds the precomputed anonymized-side per-node vectors. The
-// struct is shared by pointer across every scorer derived with Reweighted
-// or Shard at the same landmark count, so extending it for appended nodes
-// (SyncAnon) updates the whole family of scorers — including every shard
-// window — at once.
+// scorerCaches holds the precomputed anonymized-side per-node vectors in
+// flat layouts. The struct is shared by pointer across every scorer derived
+// with Reweighted or Shard at the same landmark count, so extending it for
+// appended nodes (SyncAnon) updates the whole family of scorers — including
+// every shard window — at once.
 type scorerCaches struct {
 	landmarks1 []int // anon-side landmark nodes, pinned at construction
-	ncs1       [][]float64
-	close1     [][]float64 // hop-closeness vectors, ħ dims
-	wcl1       [][]float64 // weighted-closeness vectors, ħ dims
+	hbar1      int   // len(landmarks1): row stride of close1/wcl1
+
+	// NCS vectors are ragged (one entry per incident edge); they live in
+	// one flat array indexed by per-node offsets: node u's vector is
+	// ncs1[ncsOff1[u]:ncsOff1[u+1]].
+	ncs1     []float64
+	ncsOff1  []int
+	ncsNorm1 []float64 // precomputed sqrt(Σx²), one per node
+
+	// Hop- and weighted-closeness vectors are fixed-width (ħ dims), stored
+	// row-major: node u's row is close1[u*hbar1 : (u+1)*hbar1].
+	close1, wcl1         []float64
+	closeNorm1, wclNorm1 []float64
+}
+
+// numAnon returns the number of anonymized nodes the caches cover.
+func (c *scorerCaches) numAnon() int { return len(c.ncsNorm1) }
+
+func (c *scorerCaches) ncsVec(u int) []float64 {
+	return c.ncs1[c.ncsOff1[u]:c.ncsOff1[u+1]]
+}
+func (c *scorerCaches) closeVec(u int) []float64 {
+	return c.close1[u*c.hbar1 : (u+1)*c.hbar1]
+}
+func (c *scorerCaches) wclVec(u int) []float64 {
+	return c.wcl1[u*c.hbar1 : (u+1)*c.hbar1]
 }
 
 // auxWindow is the auxiliary-side scoring state: per-node degree,
-// weighted degree, attribute set, NCS and landmark-closeness vectors,
-// frozen at construction from the full auxiliary graph (global landmarks,
-// global degrees). A base scorer holds the full window; shard scorers hold
-// contiguous slice views of the same arrays, so the values a shard scores
-// against are exactly the global ones — the property the sharded/unsharded
-// parity guarantee rests on.
+// weighted degree, attribute set (plus its precomputed total weight), NCS
+// and landmark-closeness vectors in the same flat layouts as the anonymized
+// caches, frozen at construction from the full auxiliary graph (global
+// landmarks, global degrees). A base scorer holds the full window; shard
+// scorers hold contiguous slice views of the same arrays — the NCS flat
+// array is shared whole, with the window's offset slice still holding
+// absolute positions into it — so the values a shard scores against are
+// exactly the global ones: the property the sharded/unsharded parity
+// guarantee rests on.
 type auxWindow struct {
-	deg, wdeg  []float64
-	attrs      []stylometry.AttrSet
-	ncs        [][]float64
-	close, wcl [][]float64 // hop / weighted closeness, ħ dims
+	deg, wdeg []float64
+	attrs     []stylometry.AttrSet
+	attrTotW  []int // attrTotW[v] = attrs[v].TotalWeight()
+
+	hbar2   int       // aux-side landmark count: row stride of close/wcl
+	ncs     []float64 // full flat NCS array (shared whole across windows)
+	ncsOff  []int     // window slice, absolute offsets into ncs
+	ncsNorm []float64
+
+	close, wcl         []float64 // window slices, stride hbar2
+	closeNorm, wclNorm []float64
+}
+
+func (ax *auxWindow) ncsVec(v int) []float64 {
+	return ax.ncs[ax.ncsOff[v]:ax.ncsOff[v+1]]
+}
+func (ax *auxWindow) closeVec(v int) []float64 {
+	return ax.close[v*ax.hbar2 : (v+1)*ax.hbar2]
+}
+func (ax *auxWindow) wclVec(v int) []float64 {
+	return ax.wcl[v*ax.hbar2 : (v+1)*ax.hbar2]
 }
 
 // NewScorer builds a Scorer over the two UDA graphs.
 func NewScorer(g1, g2 *graph.UDA, cfg Config) *Scorer {
-	c := &scorerCaches{
-		landmarks1: g1.TopDegreeNodes(cfg.Landmarks),
-		ncs1:       cacheNCS(g1),
-	}
-	c.close1, c.wcl1 = landmarkCloseness(g1, c.landmarks1)
+	landmarks1 := g1.TopDegreeNodes(cfg.Landmarks)
+	c := &scorerCaches{landmarks1: landmarks1, hbar1: len(landmarks1)}
+	c.ncs1, c.ncsOff1, c.ncsNorm1 = flattenRagged(cacheNCS(g1))
+	hop1, w1 := landmarkCloseness(g1, landmarks1)
+	c.close1, c.closeNorm1 = flattenFixed(hop1, c.hbar1)
+	c.wcl1, c.wclNorm1 = flattenFixed(w1, c.hbar1)
 
 	n2 := g2.NumNodes()
+	landmarks2 := g2.TopDegreeNodes(cfg.Landmarks)
 	ax := &auxWindow{
-		deg:   make([]float64, n2),
-		wdeg:  make([]float64, n2),
-		attrs: g2.Attrs,
-		ncs:   cacheNCS(g2),
+		deg:      make([]float64, n2),
+		wdeg:     make([]float64, n2),
+		attrs:    g2.Attrs,
+		attrTotW: make([]int, n2),
+		hbar2:    len(landmarks2),
 	}
 	for v := 0; v < n2; v++ {
 		ax.deg[v] = float64(g2.Degree(v))
 		ax.wdeg[v] = g2.WeightedDegree(v)
+		ax.attrTotW[v] = g2.Attrs[v].TotalWeight()
 	}
-	ax.close, ax.wcl = landmarkCloseness(g2, g2.TopDegreeNodes(cfg.Landmarks))
+	ax.ncs, ax.ncsOff, ax.ncsNorm = flattenRagged(cacheNCS(g2))
+	hop2, w2 := landmarkCloseness(g2, landmarks2)
+	ax.close, ax.closeNorm = flattenFixed(hop2, ax.hbar2)
+	ax.wcl, ax.wclNorm = flattenFixed(w2, ax.hbar2)
 	return &Scorer{cfg: cfg, g1: g1, g2: g2, c: c, ax: ax}
 }
 
@@ -126,10 +185,11 @@ func (s *Scorer) Reweighted(cfg Config) *Scorer {
 // Shard returns a scorer restricted to the auxiliary window [lo, hi):
 // local index j of the returned scorer addresses global auxiliary user
 // lo+j, and Score(u, j) is bit-identical to s.Score(u, lo+j) — every
-// aux-side cache of the window is a slice view of the base scorer's
-// arrays, so no similarity component is recomputed from partial topology.
-// sub, the shard's induced UDA subgraph, becomes the window's G2 for
-// shard-local graph access; it plays no part in scoring. The anonymized
+// aux-side cache of the window is a slice view of the base scorer's flat
+// arrays (the ragged NCS flat array is shared whole; the window's offsets
+// stay absolute), so no similarity component is recomputed from partial
+// topology. sub, the shard's induced UDA subgraph, becomes the window's G2
+// for shard-local graph access; it plays no part in scoring. The anonymized
 // side is shared by pointer, so SyncAnon through any family member extends
 // every window. Shard must be called on a base (unwindowed) scorer.
 func (s *Scorer) Shard(sub *graph.UDA, lo, hi int) *Scorer {
@@ -144,13 +204,20 @@ func (s *Scorer) Shard(sub *graph.UDA, lo, hi int) *Scorer {
 	if sub != nil {
 		t.g2 = sub
 	}
+	h := s.ax.hbar2
 	t.ax = &auxWindow{
-		deg:   s.ax.deg[lo:hi:hi],
-		wdeg:  s.ax.wdeg[lo:hi:hi],
-		attrs: s.ax.attrs[lo:hi:hi],
-		ncs:   s.ax.ncs[lo:hi:hi],
-		close: s.ax.close[lo:hi:hi],
-		wcl:   s.ax.wcl[lo:hi:hi],
+		deg:       s.ax.deg[lo:hi:hi],
+		wdeg:      s.ax.wdeg[lo:hi:hi],
+		attrs:     s.ax.attrs[lo:hi:hi],
+		attrTotW:  s.ax.attrTotW[lo:hi:hi],
+		hbar2:     h,
+		ncs:       s.ax.ncs,
+		ncsOff:    s.ax.ncsOff[lo : hi+1 : hi+1],
+		ncsNorm:   s.ax.ncsNorm[lo:hi:hi],
+		close:     s.ax.close[lo*h : hi*h : hi*h],
+		closeNorm: s.ax.closeNorm[lo:hi:hi],
+		wcl:       s.ax.wcl[lo*h : hi*h : hi*h],
+		wclNorm:   s.ax.wclNorm[lo:hi:hi],
 	}
 	return &t
 }
@@ -162,23 +229,28 @@ func (s *Scorer) AuxUsers() int { return len(s.ax.deg) }
 
 // SyncAnon extends the anonymized-side caches over nodes appended to G1
 // after the scorer was built (features.Store.Append): each new node gets
-// its NCS vector and its closeness to the landmark set pinned at
-// construction time, via one BFS and one Dijkstra from the node (the graph
-// is undirected, so node→landmark distances equal landmark→node ones). It
-// returns the number of nodes added. Existing nodes' cached vectors are
-// deliberately not recomputed — new edges can shorten old nodes' landmark
-// distances; rebuild the scorer to refresh them, and to re-pin landmarks.
-// Every scorer sharing these caches through Reweighted observes the
-// extension. Not safe to run concurrently with Score; the serving layer
-// serializes ingestion against queries.
+// its NCS vector, its closeness to the landmark set pinned at construction
+// time, and their precomputed norms, via one BFS and one Dijkstra from the
+// node (the graph is undirected, so node→landmark distances equal
+// landmark→node ones). It returns the number of nodes added. Existing
+// nodes' cached vectors are deliberately not recomputed — new edges can
+// shorten old nodes' landmark distances; rebuild the scorer to refresh
+// them, and to re-pin landmarks. Every scorer sharing these caches through
+// Reweighted observes the extension. Not safe to run concurrently with
+// Score; the serving layer serializes ingestion against queries.
 func (s *Scorer) SyncAnon() int {
 	c := s.c
 	n, added := s.g1.NumNodes(), 0
-	for u := len(c.ncs1); u < n; u++ {
-		c.ncs1 = append(c.ncs1, s.g1.NCS(u))
+	for u := c.numAnon(); u < n; u++ {
+		ncs := s.g1.NCS(u)
+		c.ncs1 = append(c.ncs1, ncs...)
+		c.ncsOff1 = append(c.ncsOff1, len(c.ncs1))
+		c.ncsNorm1 = append(c.ncsNorm1, l2norm(ncs))
 		hop, w := nodeLandmarkCloseness(s.g1, u, c.landmarks1)
-		c.close1 = append(c.close1, hop)
-		c.wcl1 = append(c.wcl1, w)
+		c.close1 = append(c.close1, hop...)
+		c.closeNorm1 = append(c.closeNorm1, l2norm(hop))
+		c.wcl1 = append(c.wcl1, w...)
+		c.wclNorm1 = append(c.wclNorm1, l2norm(w))
 		added++
 	}
 	return added
@@ -190,6 +262,47 @@ func cacheNCS(g *graph.UDA) [][]float64 {
 		out[u] = g.NCS(u)
 	}
 	return out
+}
+
+// flattenRagged packs variable-length per-node vectors into one flat array
+// with n+1 offsets and precomputed per-node L2 norms.
+func flattenRagged(rows [][]float64) (flat []float64, off []int, norm []float64) {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	flat = make([]float64, 0, total)
+	off = make([]int, len(rows)+1)
+	norm = make([]float64, len(rows))
+	for u, r := range rows {
+		flat = append(flat, r...)
+		off[u+1] = len(flat)
+		norm[u] = l2norm(r)
+	}
+	return flat, off, norm
+}
+
+// flattenFixed packs fixed-width per-node vectors into one row-major
+// matrix of the given stride, with precomputed per-node L2 norms.
+func flattenFixed(rows [][]float64, stride int) (flat []float64, norm []float64) {
+	flat = make([]float64, 0, len(rows)*stride)
+	norm = make([]float64, len(rows))
+	for u, r := range rows {
+		flat = append(flat, r...)
+		norm[u] = l2norm(r)
+	}
+	return flat, norm
+}
+
+// l2norm returns sqrt(Σx²), accumulated in index order — exactly how
+// Cosine computes its norm factors, so precomputed norms are bit-identical
+// to recomputed ones.
+func l2norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
 }
 
 // landmarkCloseness computes, for every node, the closeness 1/(1+h) to each
@@ -263,10 +376,7 @@ func Cosine(a, b []float64) float64 {
 
 func ratioSim(a, b float64) float64 {
 	if a == b {
-		if a == 0 {
-			return 1 // both isolated: identical local structure
-		}
-		return 1
+		return 1 // identical local structure, including both isolated (a = b = 0)
 	}
 	lo, hi := a, b
 	if lo > hi {
@@ -285,90 +395,35 @@ func ratioSim(a, b float64) float64 {
 func (s *Scorer) DegreeSim(u, v int) float64 {
 	d := ratioSim(float64(s.g1.Degree(u)), s.ax.deg[v])
 	wd := ratioSim(s.g1.WeightedDegree(u), s.ax.wdeg[v])
-	return d + wd + Cosine(s.c.ncs1[u], s.ax.ncs[v])
+	return d + wd + cosinePre(s.c.ncsVec(u), s.c.ncsNorm1[u], s.ax.ncsVec(v), s.ax.ncsNorm[v])
 }
 
 // DistanceSim computes s^s_uv = cos(H_u(S1), H_v(S2)) + cos(WH_u(S1),
 // WH_v(S2)) over landmark closeness vectors.
 func (s *Scorer) DistanceSim(u, v int) float64 {
-	return Cosine(s.c.close1[u], s.ax.close[v]) + Cosine(s.c.wcl1[u], s.ax.wcl[v])
+	return cosinePre(s.c.closeVec(u), s.c.closeNorm1[u], s.ax.closeVec(v), s.ax.closeNorm[v]) +
+		cosinePre(s.c.wclVec(u), s.c.wclNorm1[u], s.ax.wclVec(v), s.ax.wclNorm[v])
 }
 
 // AttrSim computes s^a_uv = Jaccard(A(u), A(v)) + WeightedJaccard(WA(u),
 // WA(v)).
 func (s *Scorer) AttrSim(u, v int) float64 {
-	return jaccard(s, u, v) + weightedJaccard(s, u, v)
+	au := s.g1.Attrs[u]
+	return attrSimFused(au, au.TotalWeight(), s.ax.attrs[v], s.ax.attrTotW[v])
 }
 
-func jaccard(s *Scorer, u, v int) float64 {
-	return jaccardSets(s.g1.Attrs[u].Idx, s.ax.attrs[v].Idx)
-}
-
-func jaccardSets(a, b []int) float64 {
-	inter, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			inter++
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	union := len(a) + len(b) - inter
-	if union == 0 {
-		return 0
-	}
-	return float64(inter) / float64(union)
-}
-
-func weightedJaccard(s *Scorer, u, v int) float64 {
-	au, av := s.g1.Attrs[u], s.ax.attrs[v]
-	var inter, union int
-	i, j := 0, 0
-	for i < len(au.Idx) && j < len(av.Idx) {
-		switch {
-		case au.Idx[i] == av.Idx[j]:
-			wa, wb := au.Weight[i], av.Weight[j]
-			if wa < wb {
-				inter += wa
-				union += wb
-			} else {
-				inter += wb
-				union += wa
-			}
-			i++
-			j++
-		case au.Idx[i] < av.Idx[j]:
-			union += au.Weight[i]
-			i++
-		default:
-			union += av.Weight[j]
-			j++
-		}
-	}
-	for ; i < len(au.Idx); i++ {
-		union += au.Weight[i]
-	}
-	for ; j < len(av.Idx); j++ {
-		union += av.Weight[j]
-	}
-	if union == 0 {
-		return 0
-	}
-	return float64(inter) / float64(union)
-}
-
-// Score computes the combined structural similarity s_uv.
+// Score computes the combined structural similarity s_uv. Per-pair callers
+// get the flat kernel through a throwaway profile; row-oriented callers
+// should PrepareQuery once and use ScoreWith / ScoreRange.
 func (s *Scorer) Score(u, v int) float64 {
-	return s.cfg.C1*s.DegreeSim(u, v) + s.cfg.C2*s.DistanceSim(u, v) + s.cfg.C3*s.AttrSim(u, v)
+	var p QueryProfile
+	s.PrepareQuery(u, &p)
+	return s.ScoreWith(&p, v)
 }
 
 // ScoreMatrix computes the full |V1| × |V2| similarity matrix in parallel
-// (|V2| is the window size on a shard window).
+// (|V2| is the window size on a shard window), each worker streaming rows
+// through the flat kernel.
 func (s *Scorer) ScoreMatrix() [][]float64 {
 	n1, n2 := s.g1.NumNodes(), s.AuxUsers()
 	out := make([][]float64, n1)
@@ -385,11 +440,11 @@ func (s *Scorer) ScoreMatrix() [][]float64 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var p QueryProfile
 			for u := range rows {
 				row := make([]float64, n2)
-				for v := 0; v < n2; v++ {
-					row[v] = s.Score(u, v)
-				}
+				s.PrepareQuery(u, &p)
+				s.ScoreRange(&p, 0, n2, row)
 				out[u] = row
 			}
 		}()
@@ -416,11 +471,11 @@ func (s *Scorer) StructuralVector(side, u int) []float64 {
 	if side == 2 {
 		deg, wdeg = s.ax.deg[u], s.ax.wdeg[u]
 		attrs = s.ax.attrs[u]
-		ncs, cl = s.ax.ncs[u], s.ax.close[u]
+		ncs, cl = s.ax.ncsVec(u), s.ax.closeVec(u)
 	} else {
 		deg, wdeg = float64(s.g1.Degree(u)), s.g1.WeightedDegree(u)
 		attrs = s.g1.Attrs[u]
-		ncs, cl = s.c.ncs1[u], s.c.close1[u]
+		ncs, cl = s.c.ncsVec(u), s.c.closeVec(u)
 	}
 	var maxN, sumN float64
 	for _, x := range ncs {
