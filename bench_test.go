@@ -873,3 +873,171 @@ func BenchmarkDefenseScrubbing(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScoreKernelBatch measures the multi-query blocked kernel
+// against the Q=1 flat kernel it batches, on the same dense-attribute
+// world as BenchmarkScoreKernel: ns/pair at batch widths Q ∈ {1, 4, 8,
+// 16} (PrepareBatch + one ScoreRangeBatch sweep over the full auxiliary
+// range) versus the per-query PrepareQuery + ScoreRange baseline, plus
+// the end-to-end single-worker query path — one TopKBatch blocked scan
+// answering eight queries versus eight independent QueryUser scans.
+// Parity is asserted inline before any timing — every batched score must
+// be bit-identical to the naive reference ScoreSlow — so
+// BENCH_batch.json can never report a speedup obtained by changing
+// results.
+func BenchmarkScoreKernelBatch(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 500, HBUsers: 500, Seed: 101})
+	split := SplitClosedWorld(w.WebMD, 0.5, 102)
+	// MaxBigrams 300 keeps the stylometric attribute sets dense — the
+	// regime where the per-query weight tables carry the batched win.
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 300, features.Options{})
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 10}
+	p := core.NewPipelineFromStore(anonS, auxS, cfg)
+	sc := p.Scorer
+	anonN, auxN := p.G1.NumNodes(), p.G2.NumNodes()
+	const k = 10
+
+	// Inline parity assertion: batched ≡ ScoreSlow, bit for bit, off the
+	// timer, on a batch mixing spread-out query users.
+	{
+		const q = 8
+		users := make([]int, q)
+		out := make([][]float64, q)
+		for i := range users {
+			users[i] = (i * 31) % anonN
+			out[i] = make([]float64, auxN)
+		}
+		var bp similarity.BatchProfile
+		sc.PrepareBatch(users, &bp)
+		sc.ScoreRangeBatch(&bp, 0, auxN, out)
+		for i, u := range users {
+			for v := 0; v < auxN; v++ {
+				if want := sc.ScoreSlow(u, v); out[i][v] != want {
+					b.Fatalf("batch[%d][%d] = %v, ScoreSlow(%d,%d) = %v — batched kernel parity broken",
+						i, v, out[i][v], u, v, want)
+				}
+			}
+		}
+	}
+
+	nsPerPair := map[string]float64{}
+	b.Run("flat-q1", func(b *testing.B) {
+		row := make([]float64, auxN)
+		var prof similarity.QueryProfile
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			sc.PrepareQuery(i%anonN, &prof)
+			sc.ScoreRange(&prof, 0, auxN, row)
+			benchSink += row[0]
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(b.N*auxN)
+		b.ReportMetric(ns, "ns/pair")
+		if prev, ok := nsPerPair["flat-q1"]; !ok || ns < prev {
+			nsPerPair["flat-q1"] = ns
+		}
+	})
+	for _, q := range []int{1, 4, 8, 16} {
+		name := fmt.Sprintf("batch-q%d", q)
+		b.Run(name, func(b *testing.B) {
+			users := make([]int, q)
+			out := make([][]float64, q)
+			for i := range out {
+				out[i] = make([]float64, auxN)
+			}
+			var bp similarity.BatchProfile
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for j := range users {
+					users[j] = (i*q + j) % anonN
+				}
+				sc.PrepareBatch(users, &bp)
+				sc.ScoreRangeBatch(&bp, 0, auxN, out)
+				benchSink += out[0][0]
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(b.N*q*auxN)
+			b.ReportMetric(ns, "ns/pair")
+			if prev, ok := nsPerPair[name]; !ok || ns < prev {
+				nsPerPair[name] = ns
+			}
+		})
+	}
+
+	// End-to-end query path, one worker on purpose: the contrast is one
+	// blocked TopKBatch scan answering 8 queries versus 8 independent
+	// bounded-heap scans — same thread, same world, so the difference is
+	// purely the kernel's cache and table-amortization win.
+	qps := map[string]float64{}
+	const batchQ = 8
+	busers := make([]int, batchQ)
+	b.Run("queryuser-seq", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for j := range busers {
+				p.QueryUser((i*batchQ+j)%anonN, k)
+			}
+		}
+		rate := float64(b.N*batchQ) / time.Since(start).Seconds()
+		b.ReportMetric(rate, "qps")
+		if prev, ok := qps["queryuser-sequential"]; !ok || rate > prev {
+			qps["queryuser-sequential"] = rate
+		}
+	})
+	b.Run("querybatch-q8", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for j := range busers {
+				busers[j] = (i*batchQ + j) % anonN
+			}
+			p.QueryBatch(busers, k, 1)
+		}
+		rate := float64(b.N*batchQ) / time.Since(start).Seconds()
+		b.ReportMetric(rate, "qps")
+		if prev, ok := qps["querybatch-q8"]; !ok || rate > prev {
+			qps["querybatch-q8"] = rate
+		}
+	})
+
+	speedup := func(name string) float64 {
+		if nsPerPair[name] > 0 {
+			return nsPerPair["flat-q1"] / nsPerPair[name]
+		}
+		return 0
+	}
+	querySpeedup := 0.0
+	if qps["queryuser-sequential"] > 0 {
+		querySpeedup = qps["querybatch-q8"] / qps["queryuser-sequential"]
+	}
+	// The batched win is arithmetic-intensity and cache reuse — the dense
+	// weight tables amortize over every auxiliary row and each hot block
+	// feeds Q queries — not parallelism: everything here runs one worker
+	// on one goroutine, so the artifact reads the same on any core count.
+	summary := map[string]any{
+		"benchmark":      "score-kernel-batch",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"single_core":    runtime.GOMAXPROCS(0) == 1,
+		"interpretation": "batched vs flat-q1 ns/pair is a single-threaded contrast: the win is per-query weight-table amortization and per-block cache reuse in the multi-query kernel, not parallelism, so it holds on single-core runners; querybatch-q8 vs queryuser-sequential shows the same win through the end-to-end blocked top-K scan (one worker)",
+		"world": map[string]int{
+			"anon_users": anonN, "aux_users": auxN,
+			"landmarks": cfg.Landmarks, "max_bigrams": 300,
+		},
+		"ns_per_pair": nsPerPair,
+		"kernel_speedup": map[string]float64{
+			"batch-q1":  speedup("batch-q1"),
+			"batch-q4":  speedup("batch-q4"),
+			"batch-q8":  speedup("batch-q8"),
+			"batch-q16": speedup("batch-q16"),
+		},
+		"qps":                qps,
+		"querybatch_speedup": querySpeedup,
+		"baseline":           "flat-q1 is the per-query flat kernel (PrepareQuery + ScoreRange); batch-qN is PrepareBatch + ScoreRangeBatch at width N — parity with ScoreSlow asserted inline, bit-identical. BENCH_serving.json tracks the HTTP dispatch the batched flush rides; this artifact tracks the kernel-level win under it",
+	}
+	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_batch.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_batch.json: %v", err)
+		}
+	}
+	if s := speedup("batch-q8"); s > 0 && s < 1.5 {
+		b.Logf("warning: batch-q8 kernel speedup %.2fx below the 1.5x target (noise or regression)", s)
+	}
+}

@@ -648,7 +648,9 @@ type ServeOptions struct {
 	// Workers bounds the per-flush query fan-out (<= 0 uses all CPUs).
 	Workers int
 	// Batch is the micro-batch size: pending requests flush at this count
-	// (default 32).
+	// (default 32). A flush's queries are answered through the multi-query
+	// blocked scoring kernel, so Batch also bounds how many queries one
+	// pass over the auxiliary data scores together.
 	Batch int
 	// FlushInterval flushes a non-empty micro-batch after this deadline
 	// (default 2ms).
@@ -667,19 +669,31 @@ type ServeOptions struct {
 // Server is the running dehealthd query service (see internal/serve): an
 // HTTP API over a prepared world, admitting queries and ingests through a
 // micro-batching channel that flushes on size or deadline. Within a flush,
-// ingests apply before queries and queries fan out over a worker pool, so
-// the service is race-free by construction.
+// ingests apply before queries and queries are answered in same-k groups
+// through the batched scoring kernel, so the service is race-free by
+// construction and each auxiliary pass serves the whole group.
 type Server = serve.Server
 
 // serveBackend adapts a PreparedWorld to the serving layer.
 type serveBackend struct {
-	w   *PreparedWorld
-	opt Options
+	w       *PreparedWorld
+	opt     Options
+	workers int // ServeOptions.Workers: bounds the batched query fan-out
 }
 
 func (b serveBackend) Ingest(batch []UserPosts) ([]int, error) { return b.w.Ingest(batch) }
 func (b serveBackend) QueryUser(u, k int) ([]Candidate, error) {
 	return b.w.QueryUser(u, k, b.opt)
+}
+
+// QueryBatch routes a flush's same-k query group through the world's
+// batched query path — the multi-query blocked scoring kernel — under the
+// serve-level worker bound rather than the attack options' extraction
+// worker count.
+func (b serveBackend) QueryBatch(users []int, k int) ([][]Candidate, error) {
+	opt := b.opt
+	opt.Workers = b.workers
+	return b.w.QueryBatch(users, k, opt)
 }
 func (b serveBackend) Sizes() (int, int) { return b.w.Sizes() }
 func (b serveBackend) PruneCounters() (serve.PruneCounters, bool) {
@@ -708,7 +722,7 @@ func (b serveBackend) ShardSizes() []serve.ShardCount {
 // a listener — drive it with (*Server).Serve, ListenAndServe or Handler,
 // and stop it with Close.
 func NewServer(pw *PreparedWorld, opt ServeOptions) *Server {
-	return serve.New(serveBackend{w: pw, opt: opt.Attack}, serve.Config{
+	return serve.New(serveBackend{w: pw, opt: opt.Attack, workers: opt.Workers}, serve.Config{
 		Workers:       opt.Workers,
 		MaxBatch:      opt.Batch,
 		FlushInterval: opt.FlushInterval,

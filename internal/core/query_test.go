@@ -73,6 +73,47 @@ func TestQueryBatchMatchesQueryUser(t *testing.T) {
 	}
 }
 
+// TestQueryBatchShardedAfterIngest drives the batched fan-out through its
+// serving shape: a sharded pipeline answers mixed batches — repeats, an
+// appended user, batches wider and narrower than the kernel chunk —
+// bit-identically to per-user QueryUser, before and after SyncAppended.
+func TestQueryBatchShardedAfterIngest(t *testing.T) {
+	split := world(t, 20, 6, 0.5, 33)
+	anonS, auxS := features.BuildPair(split.Anon, split.Aux, 50, features.Options{})
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+	p := NewShardedPipelineFromStore(anonS, auxS, cfg, 3)
+
+	n0 := split.Anon.NumUsers()
+	check := func(users []int, k int) {
+		t.Helper()
+		for _, workers := range []int{1, 2, 5} {
+			got := p.QueryBatch(users, k, workers)
+			for i, u := range users {
+				assertSameCandidates(t, u, got[i], p.QueryUser(u, k))
+			}
+		}
+	}
+	wide := make([]int, 3*n0)
+	for i := range wide {
+		wide[i] = (i * 7) % n0
+	}
+	check([]int{0}, 4)
+	check([]int{2, 2, 0, n0 - 1, 2}, 4)
+	check(wide, 6)
+
+	if _, err := anonS.Append([]features.UserPosts{
+		{User: corpus.User{Name: "late", TrueIdentity: -1}, Posts: []features.IncomingPost{
+			{Thread: 0, Text: split.Aux.Posts[0].Text},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if added := p.SyncAppended(); added != 1 {
+		t.Fatalf("SyncAppended added %d, want 1", added)
+	}
+	check([]int{n0, 0, n0, 3}, 5)
+}
+
 // TestQueryAppendedUserMatchesTopK ingests new anonymized users into the
 // store behind a live pipeline and checks that, after SyncAppended, the
 // incremental query path agrees with a full-matrix TopK over the grown

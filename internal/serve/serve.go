@@ -9,12 +9,16 @@
 // flushes when the pending batch reaches Config.MaxBatch or when
 // Config.FlushInterval elapses, whichever comes first. Within a flush,
 // ingests are applied first — serially, in arrival order, as one backend
-// call — and then the flush's queries fan out over a bounded worker pool.
-// The dispatcher is therefore the only writer the backend ever sees, and
+// call — and then the flush's queries are handed to the backend whole:
+// grouped by effective k, each group is one Backend.QueryBatch call, which
+// lets the backend drive its multi-query blocked scoring kernel (every aux
+// block scored against the whole group while cache-hot) instead of one
+// scan per query. Config.MaxBatch therefore bounds the kernel's batch
+// width Q. The dispatcher is the only writer the backend ever sees, and
 // reads never overlap mutation, so the whole service is race-free without
 // locks on the scoring hot path. A sharded backend changes none of this:
 // per-shard state is immutable after partitioning and queries fan out
-// inside the backend's QueryUser, so the single-writer flush discipline
+// inside the backend's QueryBatch, so the single-writer flush discipline
 // survives sharding; /v1/stats additionally reports the per-shard
 // breakdown.
 package serve
@@ -87,6 +91,14 @@ type Backend interface {
 	Ingest(batch []features.UserPosts) ([]int, error)
 	// QueryUser returns the top-k auxiliary candidates of anonymized user u.
 	QueryUser(u, k int) ([]core.Candidate, error)
+	// QueryBatch answers one QueryUser per entry of users, bit-identically,
+	// with results aligned by index. The flush hands it a whole same-k group
+	// of the micro-batch at once so the backend can score all of them per
+	// pass over its auxiliary data (the multi-query blocked kernel). An
+	// error fails the whole group; the flush then re-runs the group's
+	// queries individually through QueryUser so each waiter gets an answer
+	// (or an error) about its own request.
+	QueryBatch(users []int, k int) ([][]core.Candidate, error)
 	// Sizes reports the current aggregate world sizes (for /v1/stats).
 	Sizes() (anonUsers, auxUsers int)
 	// ShardSizes reports the per-shard breakdown (a single element for
@@ -96,7 +108,9 @@ type Backend interface {
 
 // Config tunes the service.
 type Config struct {
-	// Workers bounds the per-flush query fan-out (<= 0 uses GOMAXPROCS).
+	// Workers bounds the worker pool of the per-query fallback path taken
+	// when a batched query group fails (<= 0 uses GOMAXPROCS). The batched
+	// path itself delegates fan-out to Backend.QueryBatch.
 	Workers int
 	// MaxBatch flushes the pending micro-batch at this size (default 32).
 	MaxBatch int
@@ -174,6 +188,14 @@ type Server struct {
 	ingests int64
 	batches int64
 	batched int64
+
+	// Flush-local grouping scratch, touched only by the dispatcher
+	// goroutine: the same-k request groups and their user-id vectors are
+	// rebuilt into these slices every flush, so steady-state flushes reuse
+	// one allocation's capacity instead of growing fresh slices per batch
+	// (the backend's kernel scratch is pooled the same way one layer down).
+	grpReqs  []*request
+	grpUsers []int
 
 	mu     sync.Mutex
 	closed bool
@@ -295,6 +317,53 @@ func (s *Server) flush(batch []*request) {
 	if len(queries) == 0 {
 		return
 	}
+	// Batched query path: peel the flush's queries into same-k groups (in
+	// first-arrival order) and answer each group with one Backend.QueryBatch
+	// call, so the backend's multi-query kernel scores the whole group per
+	// pass over the auxiliary data. MaxBatch is thus the kernel's batch
+	// width. The group/user scratch lives on the Server and is reused
+	// across flushes.
+	for qs := queries; len(qs) > 0; {
+		k := s.effectiveK(qs[0])
+		grp, users := s.grpReqs[:0], s.grpUsers[:0]
+		rest := qs[:0]
+		for _, r := range qs {
+			if s.effectiveK(r) == k {
+				grp = append(grp, r)
+				users = append(users, r.query.User)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		cands, err := s.backend.QueryBatch(users, k)
+		if err == nil && len(cands) == len(grp) {
+			for i, r := range grp {
+				r.done <- result{candidates: cands[i], user: users[i]}
+			}
+		} else {
+			// The combined group was rejected (backends validate the whole
+			// batch before scoring). Re-run each query on its own so one
+			// client's bad request cannot fail its batch peers, and each
+			// waiter gets an error about its own query.
+			s.queryFallback(grp)
+		}
+		s.grpReqs, s.grpUsers = grp[:0], users[:0]
+		qs = rest
+	}
+	atomic.AddInt64(&s.queries, int64(len(queries)))
+}
+
+// effectiveK resolves a query's candidate-set size against DefaultK.
+func (s *Server) effectiveK(r *request) int {
+	if r.query.K > 0 {
+		return r.query.K
+	}
+	return s.cfg.DefaultK
+}
+
+// queryFallback answers a failed batch group one query at a time over the
+// Config.Workers pool, giving every waiter its own per-request verdict.
+func (s *Server) queryFallback(queries []*request) {
 	workers := s.cfg.Workers
 	if workers > len(queries) {
 		workers = len(queries)
@@ -306,11 +375,7 @@ func (s *Server) flush(batch []*request) {
 		go func() {
 			defer wg.Done()
 			for r := range jobs {
-				k := r.query.K
-				if k <= 0 {
-					k = s.cfg.DefaultK
-				}
-				cands, err := s.backend.QueryUser(r.query.User, k)
+				cands, err := s.backend.QueryUser(r.query.User, s.effectiveK(r))
 				r.done <- result{candidates: cands, user: r.query.User, err: err}
 			}
 		}()
@@ -320,7 +385,6 @@ func (s *Server) flush(batch []*request) {
 	}
 	close(jobs)
 	wg.Wait()
-	atomic.AddInt64(&s.queries, int64(len(queries)))
 }
 
 // firstID returns the first id of an ingest reply, or -1 for an empty

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -64,6 +65,17 @@ func (b *testBackend) QueryUser(u, k int) ([]core.Candidate, error) {
 		return nil, fmt.Errorf("user %d out of range", u)
 	}
 	return b.p.QueryUser(u, k), nil
+}
+
+func (b *testBackend) QueryBatch(users []int, k int) ([][]core.Candidate, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, u := range users {
+		if u < 0 || u >= b.p.G1.NumNodes() {
+			return nil, fmt.Errorf("user %d out of range", u)
+		}
+	}
+	return b.p.QueryBatch(users, k, 0), nil
 }
 
 func (b *testBackend) Sizes() (int, int) {
@@ -504,6 +516,11 @@ func (b *stallBackend) QueryUser(u, k int) ([]core.Candidate, error) {
 	return b.testBackend.QueryUser(u, k)
 }
 
+func (b *stallBackend) QueryBatch(users []int, k int) ([][]core.Candidate, error) {
+	<-b.release
+	return b.testBackend.QueryBatch(users, k)
+}
+
 // TestCloseDrainTimeout checks Close gives up after DrainTimeout with
 // ErrDrainTimeout while the stuck flush still answers its waiter once the
 // backend recovers — late, but never dropped.
@@ -582,5 +599,158 @@ func TestCloseDrainsServePath(t *testing.T) {
 	}
 	if err := <-serveDone; err != nil {
 		t.Fatalf("Serve returned %v after graceful shutdown", err)
+	}
+}
+
+// batchSpyBackend counts backend calls so tests can see how a flush was
+// routed: whole same-k groups through QueryBatch, per-query fallback
+// through QueryUser.
+type batchSpyBackend struct {
+	*testBackend
+	batchCalls  int32
+	batchedQs   int32
+	singleCalls int32
+}
+
+func (b *batchSpyBackend) QueryUser(u, k int) ([]core.Candidate, error) {
+	atomic.AddInt32(&b.singleCalls, 1)
+	return b.testBackend.QueryUser(u, k)
+}
+
+func (b *batchSpyBackend) QueryBatch(users []int, k int) ([][]core.Candidate, error) {
+	atomic.AddInt32(&b.batchCalls, 1)
+	atomic.AddInt32(&b.batchedQs, int32(len(users)))
+	return b.testBackend.QueryBatch(users, k)
+}
+
+// TestQueryFlushGroupsByK forces queries with two distinct k values (and
+// one omitting k, which resolves to DefaultK) into one micro-batch and
+// checks the flush answers them as exactly two QueryBatch groups — no
+// per-query backend calls — with every client's reply correct for its own
+// k.
+func TestQueryFlushGroupsByK(t *testing.T) {
+	b := &batchSpyBackend{testBackend: newTestBackend(t, 12, 151)}
+	s := New(b, Config{MaxBatch: 6, FlushInterval: 10 * time.Second, DefaultK: 3})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqs := []struct{ user, k, wantLen int }{
+		{0, 2, 2}, {1, 0, 3}, {2, 5, 5}, {3, 2, 2}, {4, 3, 3}, {5, 5, 5},
+	}
+	var wg sync.WaitGroup
+	replies := make([]queryReplyWire, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, q := range reqs {
+		wg.Add(1)
+		go func(i int, user, k int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/query", queryWire{User: user, K: k})
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			replies[i] = decode[queryReplyWire](t, resp)
+		}(i, q.user, q.k)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	for i, q := range reqs {
+		if len(replies[i].Candidates) != q.wantLen {
+			t.Fatalf("query %d (k=%d): %d candidates, want %d", i, q.k, len(replies[i].Candidates), q.wantLen)
+		}
+		want, _ := b.testBackend.QueryUser(q.user, q.wantLen)
+		for j, c := range replies[i].Candidates {
+			if c.User != want[j].User || c.Score != want[j].Score {
+				t.Fatalf("query %d candidate %d: %+v, want %+v", i, j, c, want[j])
+			}
+		}
+	}
+	// k∈{2, 3(default), 5} → exactly 3 groups; the fallback path never runs.
+	if got := atomic.LoadInt32(&b.batchCalls); got != 3 {
+		t.Fatalf("flush made %d QueryBatch calls, want 3 (one per distinct k)", got)
+	}
+	if got := atomic.LoadInt32(&b.batchedQs); got != int32(len(reqs)) {
+		t.Fatalf("QueryBatch saw %d queries total, want %d", got, len(reqs))
+	}
+	if got := atomic.LoadInt32(&b.singleCalls); got != 0 {
+		t.Fatalf("flush fell back to %d QueryUser calls, want 0", got)
+	}
+}
+
+// TestQueryBatchFailureIsolation forces a bad user into the same flush as
+// two valid queries of the same k: the group's QueryBatch fails whole, the
+// per-query fallback must reject only the bad request and still answer its
+// peers correctly.
+func TestQueryBatchFailureIsolation(t *testing.T) {
+	b := &batchSpyBackend{testBackend: newTestBackend(t, 12, 161)}
+	s := New(b, Config{MaxBatch: 3, FlushInterval: 10 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	users := []int{0, 9999, 1}
+	var wg sync.WaitGroup
+	statuses := make([]int, len(users))
+	for i, u := range users {
+		wg.Add(1)
+		go func(i, u int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/query", queryWire{User: u, K: 4})
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i, u)
+	}
+	wg.Wait()
+	if statuses[0] != http.StatusOK || statuses[2] != http.StatusOK {
+		t.Fatalf("valid batch peers got statuses %v, want 200s", statuses)
+	}
+	if statuses[1] != http.StatusBadRequest {
+		t.Fatalf("bad user got status %d, want 400", statuses[1])
+	}
+	if got := atomic.LoadInt32(&b.singleCalls); got != 3 {
+		t.Fatalf("fallback made %d QueryUser calls, want 3 (the whole failed group)", got)
+	}
+}
+
+// TestFlushQueryAllocs pins the batched flush's steady-state allocation
+// behavior: repeated same-shape flushes must not grow with the auxiliary
+// population — the grouping scratch lives on the Server and the kernel
+// scratch is pooled, leaving only per-result slices and bookkeeping.
+func TestFlushQueryAllocs(t *testing.T) {
+	b := newTestBackend(t, 30, 171)
+	s := New(b, Config{MaxBatch: 64, FlushInterval: 10 * time.Second, DefaultK: 5})
+	defer s.Close()
+
+	const q = 8
+	batch := make([]*request, q)
+	for i := range batch {
+		batch[i] = &request{query: &queryWire{User: i, K: 5}, done: make(chan result, 1)}
+	}
+	drain := func() {
+		for _, r := range batch {
+			res := <-r.done
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+		}
+	}
+	s.flush(batch)
+	drain() // warm scorer state, server scratch and the kernel pool
+	allocs := testing.AllocsPerRun(50, func() {
+		s.flush(batch)
+		drain()
+	})
+	// Per flush: q result sets of k candidates plus heap/sort bookkeeping,
+	// independent of |aux|. A regression to per-flush kernel scratch (Q
+	// profiles, tables, block buffers) or per-query aux scans would blow
+	// far past this.
+	if max := float64(8*q + 16); allocs > max {
+		t.Fatalf("flush allocates %v times for %d queries, want <= %v", allocs, q, max)
 	}
 }

@@ -1,0 +1,232 @@
+// The batched shard scan. A serving flush hands the world a whole
+// micro-batch of queries; scanning them one by one streams each shard's
+// flat aux-side caches through memory once per query. TopKBatch instead
+// prepares Q query profiles at once (similarity.BatchProfile) and drains Q
+// bounded heaps from one blocked walk of the shard — each 512-row block is
+// scored against every query while it is hot in cache, and the batch
+// amortizes the per-query preparation (dense attribute tables) the batched
+// kernel's cheap merge depends on. Results are bit-identical to Q
+// independent TopK calls: per query, scores arrive in the same ascending
+// row order, so the heap passes through identical states, and the final
+// sort is under the same total order. The per-batch scratch (profiles,
+// block buffers, heaps) is pooled across calls — and therefore across
+// serving flushes — so a steady-state batch query allocates only its
+// result slices.
+
+package shard
+
+import (
+	"runtime"
+	"sync"
+
+	"dehealth/internal/similarity"
+)
+
+// maxBatchQ caps how many queries one TopKBatch kernel pass scores
+// together. A serving flush's batch (Config.MaxBatch) maps onto kernel
+// batches of up to this width; wider batches would grow the per-batch
+// scratch (Q dense attribute tables + Q block buffers) past what stays
+// cache-resident, past the point where the blocked scan's reuse pays.
+const maxBatchQ = 64
+
+// batchScratch is the pooled per-call state of TopKBatch: the prepared
+// batch profile, the flat Q × scoreBlock score buffer with its per-query
+// row views, and the Q bounded heaps. Pooling it makes steady-state
+// batched queries allocation-free up to their result slices.
+type batchScratch struct {
+	prof  similarity.BatchProfile
+	buf   []float64
+	out   [][]float64
+	heaps []candidateHeap
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// grow sizes the scratch for a Q-query batch, reusing capacity.
+func (sc *batchScratch) grow(q, k int) {
+	if cap(sc.buf) < q*scoreBlock {
+		sc.buf = make([]float64, q*scoreBlock)
+	}
+	sc.buf = sc.buf[:q*scoreBlock]
+	if cap(sc.out) < q {
+		sc.out = make([][]float64, q)
+	}
+	sc.out = sc.out[:q]
+	if cap(sc.heaps) < q {
+		sc.heaps = make([]candidateHeap, q)
+	}
+	sc.heaps = sc.heaps[:q]
+	for i := range sc.heaps {
+		if cap(sc.heaps[i]) < k {
+			sc.heaps[i] = make(candidateHeap, 0, k)
+		}
+		sc.heaps[i] = sc.heaps[i][:0]
+	}
+}
+
+// TopKBatch is Shard.TopK for a whole batch of anonymized users in one
+// blocked scan: the batch profile is prepared once, each scoreBlock-row
+// block is scored against every query by the batched kernel while its
+// aux-side data is cache-hot, and Q bounded heaps accumulate the per-query
+// top-k. Results align with users by index; each entry is bit-identical
+// to TopK(users[q], k).
+func (sh *Shard) TopKBatch(users []int, k int) [][]Candidate {
+	res := make([][]Candidate, len(users))
+	if len(users) == 0 {
+		return res
+	}
+	n := sh.NumUsers()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		for q := range res {
+			res[q] = []Candidate{}
+		}
+		return res
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.grow(len(users), k)
+	sh.Scorer.PrepareBatch(users, &sc.prof)
+	heaps := sc.heaps
+	for lo := 0; lo < n; lo += scoreBlock {
+		hi := lo + scoreBlock
+		if hi > n {
+			hi = n
+		}
+		for q := range sc.out {
+			sc.out[q] = sc.buf[q*scoreBlock : q*scoreBlock+(hi-lo)]
+		}
+		sh.Scorer.ScoreRangeBatch(&sc.prof, lo, hi, sc.out)
+		for q := range heaps {
+			h := heaps[q]
+			for i, score := range sc.out[q] {
+				c := Candidate{User: sh.Lo + lo + i, Score: score}
+				if len(h) < k {
+					h = append(h, c)
+					h.up(len(h) - 1)
+				} else if worse(h[0], c) {
+					h[0] = c
+					h.down(0)
+				}
+			}
+			heaps[q] = h
+		}
+	}
+	for q := range heaps {
+		out := make([]Candidate, len(heaps[q]))
+		copy(out, heaps[q])
+		sortCandidates(out)
+		res[q] = out
+	}
+	batchScratchPool.Put(sc)
+	return res
+}
+
+// queryBatchFanOut answers a whole batch through the batched shard scan:
+// users are cut into contiguous chunks of at most maxBatchQ (balanced
+// across the worker budget), and each worker walks every shard once per
+// chunk with TopKBatch before merging the per-shard lists per user. The
+// across-query cache reuse lives inside TopKBatch; workers only add
+// across-chunk parallelism, so results are identical at every worker
+// count.
+func (w *World) queryBatchFanOut(users []int, k, workers int, out [][]Candidate) {
+	chunk := (len(users) + workers - 1) / workers
+	if chunk > maxBatchQ {
+		chunk = maxBatchQ
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	type job struct{ lo, hi int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts := make([][]Candidate, len(w.shards))
+			all := make([][][]Candidate, len(w.shards))
+			for j := range jobs {
+				us := users[j.lo:j.hi]
+				if len(w.shards) == 1 {
+					copy(out[j.lo:j.hi], w.shards[0].TopKBatch(us, k))
+					continue
+				}
+				for si, sh := range w.shards {
+					all[si] = sh.TopKBatch(us, k)
+				}
+				for qi := range us {
+					for si := range all {
+						parts[si] = all[si][qi]
+					}
+					out[j.lo+qi] = mergeTopK(parts, k)
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < len(users); lo += chunk {
+		hi := lo + chunk
+		if hi > len(users) {
+			hi = len(users)
+		}
+		jobs <- job{lo, hi}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// queryBatchPerUser answers a batch one query at a time over a worker
+// pool — the pruned world's path: TopKPruned gathers per-query candidate
+// postings, which the multi-query kernel cannot batch, so pruned worlds
+// keep the candidate-pruned engine and its bit-identity guarantee intact.
+func (w *World) queryBatchPerUser(users []int, k, workers int, out [][]Candidate) {
+	if workers <= 1 {
+		for i, u := range users {
+			out[i] = w.QueryUser(u, k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = w.queryInline(users[i], k)
+			}
+		}()
+	}
+	for i := range users {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// QueryBatch answers one QueryUser per entry of users (workers <= 0 uses
+// GOMAXPROCS). Results align with users by index and are bit-identical to
+// len(users) independent QueryUser calls. On an unpruned world the batch
+// routes through the multi-query blocked kernel — each shard is walked
+// once per chunk of up to maxBatchQ queries instead of once per query; a
+// pruned world falls back to per-query TopKPruned over a worker pool,
+// since index-gathered candidate sets are per-query by construction.
+func (w *World) QueryBatch(users []int, k, workers int) [][]Candidate {
+	out := make([][]Candidate, len(users))
+	if len(users) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if w.prune != nil {
+		w.queryBatchPerUser(users, k, workers, out)
+		return out
+	}
+	w.queryBatchFanOut(users, k, workers, out)
+	return out
+}

@@ -325,42 +325,6 @@ func (w *World) queryInline(u, k int) []Candidate {
 	return mergeTopK(parts, k)
 }
 
-// QueryBatch answers one QueryUser per entry of users over a bounded
-// worker pool (workers <= 0 uses GOMAXPROCS). Results align with users by
-// index and are identical to len(users) independent QueryUser calls.
-func (w *World) QueryBatch(users []int, k, workers int) [][]Candidate {
-	out := make([][]Candidate, len(users))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(users) {
-		workers = len(users)
-	}
-	if workers <= 1 {
-		for i, u := range users {
-			out[i] = w.QueryUser(u, k)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = w.queryInline(users[i], k)
-			}
-		}()
-	}
-	for i := range users {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
-}
-
 // mergeTopK merges per-shard top-k lists into the global top-k under the
 // global selection order. Exact: every global top-k candidate appears in
 // its own shard's top-k, so sorting the union and truncating loses

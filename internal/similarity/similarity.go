@@ -112,6 +112,13 @@ type auxWindow struct {
 	deg, wdeg []float64
 	attrs     []stylometry.AttrSet
 	attrTotW  []int // attrTotW[v] = attrs[v].TotalWeight()
+	// attrW is 1 + the maximum attribute id across the FULL auxiliary side
+	// (not just this window): the width of the batched kernel's dense
+	// per-query weight tables. Sized globally so every window's lookups are
+	// in-bounds by construction; the aux side is immutable, so the bound
+	// never goes stale. Query-side attributes at or beyond attrW cannot
+	// appear in any auxiliary set and are simply never tabulated.
+	attrW int
 
 	hbar2   int       // aux-side landmark count: row stride of close/wcl
 	ncs     []float64 // full flat NCS array (shared whole across windows)
@@ -154,6 +161,9 @@ func NewScorer(g1, g2 *graph.UDA, cfg Config) *Scorer {
 		ax.deg[v] = float64(g2.Degree(v))
 		ax.wdeg[v] = g2.WeightedDegree(v)
 		ax.attrTotW[v] = g2.Attrs[v].TotalWeight()
+		if n := g2.Attrs[v].Len(); n > 0 && g2.Attrs[v].Idx[n-1]+1 > ax.attrW {
+			ax.attrW = g2.Attrs[v].Idx[n-1] + 1 // Idx is sorted: the last entry is the max
+		}
 	}
 	ax.ncs, ax.ncsOff, ax.ncsNorm = flattenRagged(cacheNCS(g2))
 	hop2, w2 := landmarkCloseness(g2, landmarks2)
@@ -210,6 +220,7 @@ func (s *Scorer) Shard(sub *graph.UDA, lo, hi int) *Scorer {
 		wdeg:      s.ax.wdeg[lo:hi:hi],
 		attrs:     s.ax.attrs[lo:hi:hi],
 		attrTotW:  s.ax.attrTotW[lo:hi:hi],
+		attrW:     s.ax.attrW,
 		hbar2:     h,
 		ncs:       s.ax.ncs,
 		ncsOff:    s.ax.ncsOff[lo : hi+1 : hi+1],
@@ -422,40 +433,61 @@ func (s *Scorer) Score(u, v int) float64 {
 }
 
 // ScoreMatrix computes the full |V1| × |V2| similarity matrix in parallel
-// (|V2| is the window size on a shard window), each worker streaming rows
-// through the flat kernel.
+// (|V2| is the window size on a shard window), each worker streaming strips
+// of scoreMatrixStrip query rows through the batched kernel
+// (PrepareBatch/ScoreRangeBatch): one pass over the aux-side arrays scores
+// a whole strip, instead of one pass per row. Rows are bit-identical to
+// the per-row flat kernel's.
 func (s *Scorer) ScoreMatrix() [][]float64 {
+	const strip = scoreMatrixStrip
 	n1, n2 := s.g1.NumNodes(), s.AuxUsers()
 	out := make([][]float64, n1)
+	nstrips := (n1 + strip - 1) / strip
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n1 {
-		workers = n1
+	if workers > nstrips {
+		workers = nstrips
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	rows := make(chan int)
+	strips := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var p QueryProfile
-			for u := range rows {
-				row := make([]float64, n2)
-				s.PrepareQuery(u, &p)
-				s.ScoreRange(&p, 0, n2, row)
-				out[u] = row
+			var b BatchProfile
+			users := make([]int, 0, strip)
+			rows := make([][]float64, 0, strip)
+			for st := range strips {
+				lo, hi := st*strip, (st+1)*strip
+				if hi > n1 {
+					hi = n1
+				}
+				users, rows = users[:0], rows[:0]
+				for u := lo; u < hi; u++ {
+					users = append(users, u)
+					rows = append(rows, make([]float64, n2))
+				}
+				s.PrepareBatch(users, &b)
+				s.ScoreRangeBatch(&b, 0, n2, rows)
+				for i, u := range users {
+					out[u] = rows[i]
+				}
 			}
 		}()
 	}
-	for u := 0; u < n1; u++ {
-		rows <- u
+	for st := 0; st < nstrips; st++ {
+		strips <- st
 	}
-	close(rows)
+	close(strips)
 	wg.Wait()
 	return out
 }
+
+// scoreMatrixStrip is ScoreMatrix's batch width: how many query rows one
+// ScoreRangeBatch pass scores per walk of the aux-side arrays.
+const scoreMatrixStrip = 8
 
 // StructuralVector returns a fixed-length numeric summary of a user's
 // structural features, used to augment the stylometric vectors fed to the

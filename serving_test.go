@@ -472,3 +472,84 @@ func TestStatsPruneBlock(t *testing.T) {
 		t.Fatal("unpruned stats must omit the prune block")
 	}
 }
+
+// TestConcurrentQueryBatchIngest races the batched fan-out directly
+// against world growth: goroutines hammer PreparedWorld.QueryBatch (mixed
+// batch widths, so the kernel's chunked multi-query scan runs under -race)
+// while others ingest new accounts. Every batch must come back full-length
+// and sorted — the world lock makes each batch see a consistent snapshot.
+func TestConcurrentQueryBatchIngest(t *testing.T) {
+	pw := servingWorld(t, 20, 931)
+	opt := DefaultOptions()
+	opt.Landmarks = 5
+	opt.Workers = 3
+	anon0, _ := pw.Sizes()
+	if _, err := pw.QueryUser(0, 3, opt); err != nil { // warm the pipeline
+		t.Fatal(err)
+	}
+
+	const (
+		queriers  = 4
+		ingesters = 2
+		rounds    = 8
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, (queriers+ingesters)*rounds)
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := 1 + (g+i)%(anon0-1)
+				users := make([]int, q)
+				for j := range users {
+					users[j] = (g*rounds + i + j) % anon0
+				}
+				res, err := pw.QueryBatch(users, 4, opt)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(res) != q {
+					errCh <- fmt.Errorf("batch of %d returned %d results", q, len(res))
+					return
+				}
+				for _, cands := range res {
+					if len(cands) != 4 {
+						errCh <- fmt.Errorf("batch candidate list has %d entries, want 4", len(cands))
+						return
+					}
+					for j := 1; j < len(cands); j++ {
+						if cands[j].Score > cands[j-1].Score {
+							errCh <- fmt.Errorf("batch candidates not sorted")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("racer-%d-%d", g, i)
+				if _, err := pw.IngestUser(name, []IngestPost{
+					{Thread: i % 3, Text: "new symptoms after switching medication"},
+				}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if anon1, _ := pw.Sizes(); anon1 != anon0+ingesters*rounds {
+		t.Fatalf("anon users after race: %d, want %d", anon1, anon0+ingesters*rounds)
+	}
+}
