@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -536,9 +537,11 @@ func BenchmarkQueryUserPruned(b *testing.B) {
 	stats := st.Snapshot()
 	dstats := dst.Snapshot()
 	summary := map[string]any{
-		"benchmark":  "prune",
-		"generated":  time.Now().UTC().Format(time.RFC3339),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"benchmark":      "prune",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"single_core":    runtime.GOMAXPROCS(0) == 1,
+		"interpretation": "pruning is a work-reduction win (index-certified candidate skipping), not parallelism, so the sparse-world speedup holds on single-core runners; the dense block reports the bookkeeping-overhead floor in the regime with nothing to skip",
 		"world": map[string]int{
 			"anon_users": anonUsers, "aux_users": auxUsers,
 			"attr_dim": attrDim, "community": community,
@@ -703,9 +706,11 @@ func BenchmarkScoreKernel(b *testing.B) {
 		querySpeedup = qps["flat-full-scan"] / qps["naive-full-scan"]
 	}
 	summary := map[string]any{
-		"benchmark":  "score-kernel",
-		"generated":  time.Now().UTC().Format(time.RFC3339),
-		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"benchmark":      "score-kernel",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"single_core":    runtime.GOMAXPROCS(0) == 1,
+		"interpretation": "both contrasts are single-threaded: the kernel speedup is SoA layout + precomputed norms over the naive per-pair reference, and the queryuser speedup is the same kernel under the bounded top-K scan — memory-layout wins, not parallelism, so they hold on single-core runners",
 		"world": map[string]int{
 			"anon_users": anonN, "aux_users": auxN,
 			"landmarks": cfg.Landmarks, "max_bigrams": 300,
@@ -1039,5 +1044,134 @@ func BenchmarkScoreKernelBatch(b *testing.B) {
 	}
 	if s := speedup("batch-q8"); s > 0 && s < 1.5 {
 		b.Logf("warning: batch-q8 kernel speedup %.2fx below the 1.5x target (noise or regression)", s)
+	}
+}
+
+// BenchmarkWarmRestart measures the warm-restart subsystem: booting a
+// query-ready world cold (PrepareWorld: extraction, attribute sets, UDA
+// build, scorer precomputation, index build) versus warm (LoadWorld over a
+// snapshot file, mmap and copying paths), each timed through its first
+// answered query so both sides pay full pipeline materialization. Parity
+// is asserted inline before any timing — the loaded world must answer a
+// sample of queries bit-identically to the world that saved it — so
+// BENCH_snapshot.json can never report a speedup obtained by changing
+// results. The summary lands in BENCH_snapshot.json.
+func BenchmarkWarmRestart(b *testing.B) {
+	w := GenerateWorld(WorldConfig{WebMDUsers: 400, HBUsers: 400, Seed: 111})
+	split := SplitClosedWorld(w.WebMD, 0.5, 112)
+	opt := DefaultOptions()
+	opt.MaxBigrams = 300
+	opt.Landmarks = 10
+	opt.Shards = 2
+	opt.Prune = true
+
+	path := filepath.Join(b.TempDir(), "bench.snap")
+
+	// Reference world, snapshot, and the inline parity gate.
+	ref := PrepareWorld(split.Anon, split.Aux, opt)
+	if err := ref.Snapshot(path); err != nil {
+		b.Fatalf("Snapshot: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anonN, auxN := ref.Sizes()
+	const k = 10
+	for _, noMmap := range []bool{false, true} {
+		lw, err := LoadWorld(path, LoadOptions{NoMmap: noMmap})
+		if err != nil {
+			b.Fatalf("LoadWorld(noMmap=%v): %v", noMmap, err)
+		}
+		for u := 0; u < anonN; u += 7 {
+			want, err := ref.QueryUser(u, k, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := lw.QueryUser(u, k, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != len(want) {
+				b.Fatalf("user %d: restored returned %d candidates, original %d", u, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					b.Fatalf("user %d candidate %d: restored %+v, original %+v — snapshot parity broken", u, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Each timed iteration boots a world from scratch and answers one
+	// query, so the contrast is time-to-first-answer.
+	ms := map[string]float64{}
+	firstQuery := func(b *testing.B, pw *PreparedWorld) {
+		cands, err := pw.QueryUser(0, k, opt)
+		if err != nil || len(cands) == 0 {
+			b.Fatalf("first query: %d candidates, err %v", len(cands), err)
+		}
+	}
+	b.Run("cold-prepare", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			firstQuery(b, PrepareWorld(split.Anon, split.Aux, opt))
+		}
+		v := float64(time.Since(start).Milliseconds()) / float64(b.N)
+		b.ReportMetric(v, "ms/boot")
+		if prev, ok := ms["cold_prepare"]; !ok || v < prev {
+			ms["cold_prepare"] = v
+		}
+	})
+	for _, mode := range []struct {
+		name   string
+		noMmap bool
+	}{{"warm-load-mmap", false}, {"warm-load-copy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				lw, err := LoadWorld(path, LoadOptions{NoMmap: mode.noMmap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				firstQuery(b, lw)
+			}
+			v := float64(time.Since(start).Microseconds()) / 1000 / float64(b.N)
+			b.ReportMetric(v, "ms/boot")
+			key := strings.ReplaceAll(mode.name, "-", "_")
+			if prev, ok := ms[key]; !ok || v < prev {
+				ms[key] = v
+			}
+		})
+	}
+
+	speedup := 0.0
+	if ms["warm_load_mmap"] > 0 {
+		speedup = ms["cold_prepare"] / ms["warm_load_mmap"]
+	}
+	summary := map[string]any{
+		"benchmark":      "warm-restart",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"single_core":    runtime.GOMAXPROCS(0) == 1,
+		"interpretation": "cold boot replays extraction + UDA build + scorer precomputation + index build; warm boot mmaps the snapshot and adopts the saved arrays, so the speedup is work elided, not parallelism — it holds on single-core runners and grows with corpus size",
+		"world": map[string]int{
+			"anon_users": anonN, "aux_users": auxN,
+			"landmarks": opt.Landmarks, "max_bigrams": opt.MaxBigrams,
+			"shards": opt.Shards,
+		},
+		"prune":          true,
+		"snapshot_bytes": fi.Size(),
+		"ms_per_boot":    ms,
+		"speedup":        speedup,
+		"baseline":       "cold-prepare is PrepareWorld + first QueryUser (full pipeline materialization); warm-load is LoadWorld + first QueryUser over the same snapshot — parity asserted inline, bit-identical",
+	}
+	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_snapshot.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_snapshot.json: %v", err)
+		}
+	}
+	if speedup > 0 && speedup < 10 {
+		b.Logf("warning: warm restart speedup %.1fx below the 10x target (noise or regression)", speedup)
 	}
 }

@@ -4,18 +4,28 @@
 // continuous-tracking threat model, as opposed to cmd/dehealth's offline
 // batch attack.
 //
+// With -snapshot the daemon becomes warm-restartable: on SIGINT/SIGTERM it
+// drains the pending micro-batch and writes the prepared world to the
+// snapshot path (atomically), and on the next start it memory-maps that
+// file back instead of re-running feature extraction and similarity
+// precomputation — the restored world answers queries bit-identically to
+// the one that shut down (see docs/SNAPSHOT.md).
+//
 // Usage:
 //
 //	dehealthd -aux aux.json                          # start with an empty anonymized side
 //	dehealthd -aux aux.json -anon anon.json          # preload known anonymized accounts
 //	dehealthd -synth 300                             # demo mode: synthetic auxiliary world
 //	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2 -shards 8 -prune
+//	dehealthd -synth 300 -snapshot world.snap        # warm restart: load if present, write on shutdown
+//	dehealthd -snapshot world.snap -no-mmap          # warm restart with the copying loader
 //	dehealthd -synth 300 -pprof localhost:6060        # profiling listener
 //
 // API:
 //
-//	POST /v1/query   {"user": 17, "k": 10}
-//	POST /v1/ingest  {"name": "jdoe", "posts": [{"text": "..."}, {"thread": 3, "text": "..."}]}
+//	POST /v1/query    {"user": 17, "k": 10}
+//	POST /v1/ingest   {"name": "jdoe", "posts": [{"text": "..."}, {"thread": 3, "text": "..."}]}
+//	POST /v1/snapshot                                 # write the world to -snapshot now
 //	GET  /v1/stats
 //	GET  /healthz
 package main
@@ -25,7 +35,10 @@ import (
 	"log"
 	"net/http"
 	_ "net/http/pprof" // profiling handlers for the optional -pprof listener
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"dehealth"
@@ -35,20 +48,22 @@ func msToDuration(ms int) time.Duration { return time.Duration(ms) * time.Millis
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8700", "HTTP listen address")
-		auxPath = flag.String("aux", "", "auxiliary dataset JSON (the adversary's world; required unless -synth)")
-		anon    = flag.String("anon", "", "optional anonymized dataset JSON to preload; default starts empty")
-		synth   = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
-		workers = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
-		shards  = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
-		prune   = flag.Bool("prune", false, "candidate-pruned queries via per-shard attribute inverted indexes (results identical; see /v1/stats prune counters)")
-		batch   = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
-		flushMS = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")
-		k       = flag.Int("k", 10, "default Top-K candidate set size")
-		hbar    = flag.Int("landmarks", 50, "landmark count for the structural similarity")
-		bigrams = flag.Int("max-bigrams", 300, "POS-bigram feature cap (fitted on the auxiliary texts)")
-		seed    = flag.Int64("seed", 1, "seed for -synth demo worlds")
-		pprofA  = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); off by default")
+		addr     = flag.String("addr", ":8700", "HTTP listen address")
+		auxPath  = flag.String("aux", "", "auxiliary dataset JSON (the adversary's world; required unless -synth or a -snapshot file exists)")
+		anon     = flag.String("anon", "", "optional anonymized dataset JSON to preload; default starts empty")
+		synth    = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
+		workers  = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
+		shards   = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
+		prune    = flag.Bool("prune", false, "candidate-pruned queries via per-shard attribute inverted indexes (results identical; see /v1/stats prune counters)")
+		batch    = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
+		flushMS  = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")
+		k        = flag.Int("k", 10, "default Top-K candidate set size")
+		hbar     = flag.Int("landmarks", 50, "landmark count for the structural similarity")
+		bigrams  = flag.Int("max-bigrams", 300, "POS-bigram feature cap (fitted on the auxiliary texts)")
+		seed     = flag.Int64("seed", 1, "seed for -synth demo worlds")
+		pprofA   = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); off by default")
+		snapPath = flag.String("snapshot", "", "world snapshot path: loaded on start when the file exists (warm restart), written on graceful shutdown and POST /v1/snapshot")
+		noMmap   = flag.Bool("no-mmap", false, "load -snapshot with the copying decoder instead of memory-mapping the file")
 	)
 	flag.Parse()
 
@@ -62,39 +77,115 @@ func main() {
 		}()
 	}
 
+	var pw *dehealth.PreparedWorld
+	var opt dehealth.Options
+	if pw = warmBoot(*snapPath, *noMmap); pw != nil {
+		// The snapshot pins the world's preparation-time configuration
+		// (shards, pruning, landmarks, similarity weights); only the
+		// attack-phase knobs come from this process's flags.
+		opt = pw.PreparedOptions()
+		opt.Workers = *workers
+		opt.K = *k
+	} else {
+		pw, opt = coldBoot(*auxPath, *anon, *synth, *seed, *hbar, *bigrams, *workers, *shards, *prune, *k)
+	}
+
+	srv := dehealth.NewServer(pw, dehealth.ServeOptions{
+		Workers:       *workers,
+		Batch:         *batch,
+		FlushInterval: msToDuration(*flushMS),
+		K:             *k,
+		Attack:        opt,
+		SnapshotPath:  *snapPath,
+	})
+
+	// Graceful drain on SIGINT/SIGTERM: Close flushes the pending
+	// micro-batch (every in-flight waiter gets its answer), then the
+	// post-drain snapshot below captures the fully-applied world —
+	// including any accounts ingested moments before the signal.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("dehealthd: %v: draining...", sig)
+		if err := srv.Close(); err != nil {
+			log.Printf("dehealthd: drain: %v", err)
+		}
+	}()
+
+	log.Printf("dehealthd: listening on %s (batch %d, flush %dms, k %d)", *addr, *batch, *flushMS, *k)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("dehealthd: %v", err)
+	}
+	if *snapPath != "" {
+		start := time.Now()
+		if err := pw.Snapshot(*snapPath); err != nil {
+			log.Fatalf("dehealthd: writing shutdown snapshot: %v", err)
+		}
+		if fi, err := os.Stat(*snapPath); err == nil {
+			log.Printf("dehealthd: snapshot written to %s (%d bytes, %dms)", *snapPath, fi.Size(), time.Since(start).Milliseconds())
+		}
+	}
+}
+
+// warmBoot restores the world from an existing snapshot file, or returns
+// nil when path is empty or the file does not exist yet (first boot: the
+// caller prepares cold and the shutdown write creates the file).
+func warmBoot(path string, noMmap bool) *dehealth.PreparedWorld {
+	if path == "" {
+		return nil
+	}
+	if _, err := os.Stat(path); err != nil {
+		log.Printf("dehealthd: no snapshot at %s yet, preparing cold", path)
+		return nil
+	}
+	start := time.Now()
+	pw, err := dehealth.LoadWorld(path, dehealth.LoadOptions{NoMmap: noMmap})
+	if err != nil {
+		log.Fatalf("dehealthd: loading snapshot %s: %v", path, err)
+	}
+	anon, aux := pw.Sizes()
+	log.Printf("dehealthd: warm restart from %s in %dms (aux %d users, anon %d users)",
+		path, time.Since(start).Milliseconds(), aux, anon)
+	return pw
+}
+
+// coldBoot prepares the world from datasets (or a synthetic demo world)
+// exactly as pre-snapshot dehealthd always did.
+func coldBoot(auxPath, anonPath string, synth int, seed int64, hbar, bigrams, workers, shards int, prune bool, k int) (*dehealth.PreparedWorld, dehealth.Options) {
 	var aux *dehealth.Dataset
 	switch {
-	case *auxPath != "":
+	case auxPath != "":
 		var err error
-		if aux, err = dehealth.LoadDataset(*auxPath); err != nil {
+		if aux, err = dehealth.LoadDataset(auxPath); err != nil {
 			log.Fatalf("dehealthd: loading auxiliary data: %v", err)
 		}
-	case *synth > 0:
-		world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: *synth, HBUsers: *synth, Seed: *seed})
+	case synth > 0:
+		world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: synth, HBUsers: synth, Seed: seed})
 		aux = world.WebMD
 		log.Printf("dehealthd: synthetic auxiliary world: %d users, %d posts", aux.NumUsers(), aux.NumPosts())
 	default:
-		log.Fatal("dehealthd: -aux is required (or -synth for a demo world)")
+		log.Fatal("dehealthd: -aux is required (or -synth for a demo world, or an existing -snapshot file)")
 	}
 
 	anonDS := &dehealth.Dataset{Name: "observed"}
-	if *anon != "" {
+	if anonPath != "" {
 		var err error
-		if anonDS, err = dehealth.LoadDataset(*anon); err != nil {
+		if anonDS, err = dehealth.LoadDataset(anonPath); err != nil {
 			log.Fatalf("dehealthd: loading anonymized data: %v", err)
 		}
 	}
 
 	opt := dehealth.DefaultOptions()
-	opt.Landmarks = *hbar
-	opt.MaxBigrams = *bigrams
-	opt.Workers = *workers
-	opt.K = *k
-	opt.Shards = *shards
+	opt.Landmarks = hbar
+	opt.MaxBigrams = bigrams
+	opt.Workers = workers
+	opt.K = k
+	opt.Shards = shards
 	if opt.Shards <= 0 {
 		opt.Shards = runtime.NumCPU()
 	}
-	opt.Prune = *prune
+	opt.Prune = prune
 
 	pruneNote := ""
 	if opt.Prune {
@@ -102,16 +193,5 @@ func main() {
 	}
 	log.Printf("dehealthd: preparing world (aux %d users / %d posts, anon %d users, %d shards%s)...",
 		aux.NumUsers(), aux.NumPosts(), anonDS.NumUsers(), opt.Shards, pruneNote)
-	pw := dehealth.PrepareWorld(anonDS, aux, opt)
-	log.Printf("dehealthd: listening on %s (batch %d, flush %dms, k %d)", *addr, *batch, *flushMS, *k)
-	if err := dehealth.Serve(pw, dehealth.ServeOptions{
-		Addr:          *addr,
-		Workers:       *workers,
-		Batch:         *batch,
-		FlushInterval: msToDuration(*flushMS),
-		K:             *k,
-		Attack:        opt,
-	}); err != nil {
-		log.Fatalf("dehealthd: %v", err)
-	}
+	return dehealth.PrepareWorld(anonDS, aux, opt), opt
 }

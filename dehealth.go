@@ -48,6 +48,7 @@ package dehealth
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -300,6 +301,10 @@ type PreparedWorld struct {
 
 	anonStore, auxStore *features.Store
 	shards              int
+	// prepOpt preserves the preparation-time options (MaxBigrams, Workers,
+	// Shards, Prune plus the attack defaults in force), pinning the
+	// configuration Snapshot captures and LoadWorld restores.
+	prepOpt Options
 	// pruneStats, when non-nil, enables candidate pruning on every derived
 	// pipeline; all of them accumulate into this one shared counter block.
 	pruneStats *index.Stats
@@ -327,6 +332,7 @@ func PrepareWorld(anon, aux *Dataset, opt Options) *PreparedWorld {
 		Anon: anon, Aux: aux,
 		anonStore: anonS, auxStore: auxS,
 		shards:    shards,
+		prepOpt:   opt,
 		pipelines: map[similarity.Config]*core.Pipeline{},
 	}
 	if opt.Prune {
@@ -664,6 +670,11 @@ type ServeOptions struct {
 	// Attack supplies the similarity configuration queries score under;
 	// zero values take the paper defaults.
 	Attack Options
+	// SnapshotPath, when non-empty, enables the POST /v1/snapshot admin
+	// endpoint: each request writes the prepared world to this path
+	// (atomically, via PreparedWorld.Snapshot) and reports the file size.
+	// cmd/dehealthd additionally writes the same path on graceful shutdown.
+	SnapshotPath string
 }
 
 // Server is the running dehealthd query service (see internal/serve): an
@@ -722,13 +733,27 @@ func (b serveBackend) ShardSizes() []serve.ShardCount {
 // a listener — drive it with (*Server).Serve, ListenAndServe or Handler,
 // and stop it with Close.
 func NewServer(pw *PreparedWorld, opt ServeOptions) *Server {
-	return serve.New(serveBackend{w: pw, opt: opt.Attack, workers: opt.Workers}, serve.Config{
+	cfg := serve.Config{
 		Workers:       opt.Workers,
 		MaxBatch:      opt.Batch,
 		FlushInterval: opt.FlushInterval,
 		DrainTimeout:  opt.DrainTimeout,
 		DefaultK:      opt.K,
-	})
+	}
+	if path := opt.SnapshotPath; path != "" {
+		cfg.Snapshot = func() (serve.SnapshotInfo, error) {
+			start := time.Now()
+			if err := pw.Snapshot(path); err != nil {
+				return serve.SnapshotInfo{}, err
+			}
+			info := serve.SnapshotInfo{Path: path, Millis: time.Since(start).Milliseconds()}
+			if fi, err := os.Stat(path); err == nil {
+				info.Bytes = fi.Size()
+			}
+			return info, nil
+		}
+	}
+	return serve.New(serveBackend{w: pw, opt: opt.Attack, workers: opt.Workers}, cfg)
 }
 
 // Serve runs the dehealthd query service over a prepared world on

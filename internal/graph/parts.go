@@ -1,0 +1,83 @@
+// Snapshot support: the frozen adjacency in CSR form. AdjacencyParts
+// flattens a frozen graph into (offsets, neighbor ids, weights) for
+// serialization; NewFromAdjacency rebuilds a frozen graph from those
+// arrays. The round trip preserves topology and weights exactly — the
+// adjacency is already sorted by neighbor id, and the flat arrays keep
+// that order.
+
+package graph
+
+import "fmt"
+
+// AdjacencyParts returns the graph's frozen adjacency in CSR form:
+// off has NumNodes()+1 entries, and node u's neighbors are
+// to[off[u]:off[u+1]] with weights weight[off[u]:off[u+1]], sorted by
+// neighbor id. Neighbor ids are int32 (a node count beyond 2^31 is far
+// outside this package's design envelope; AdjacencyParts panics rather
+// than truncating if that is ever violated).
+func (g *Graph) AdjacencyParts() (off []int, to []int32, weight []float64) {
+	g.Freeze()
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	off = make([]int, g.n+1)
+	to = make([]int32, 0, total)
+	weight = make([]float64, 0, total)
+	for u, es := range g.adj {
+		for _, e := range es {
+			if int(int32(e.To)) != e.To {
+				panic(fmt.Sprintf("graph: node id %d overflows int32", e.To))
+			}
+			to = append(to, int32(e.To))
+			weight = append(weight, e.Weight)
+		}
+		off[u+1] = len(to)
+	}
+	return off, to, weight
+}
+
+// NewFromAdjacency rebuilds a frozen graph of n nodes from CSR adjacency
+// parts (the inverse of AdjacencyParts). The edge structs are materialized
+// into one backing array with each node's adjacency a capacity-clamped
+// view of it, so a later AddEdge on the frozen graph reallocates that
+// node's slice instead of clobbering its neighbor's. The parts are
+// validated (offset shape, id bounds, per-node sort order); a violation
+// returns an error rather than a graph whose binary-searched reads would
+// misbehave.
+func NewFromAdjacency(n int, off []int, to []int32, weight []float64) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	if len(off) != n+1 {
+		return nil, fmt.Errorf("graph: adjacency offsets cover %d nodes, want %d", len(off)-1, n)
+	}
+	if len(to) != len(weight) {
+		return nil, fmt.Errorf("graph: %d neighbor ids with %d weights", len(to), len(weight))
+	}
+	if off[0] != 0 || off[n] != len(to) {
+		return nil, fmt.Errorf("graph: adjacency offsets span [%d, %d), arrays have %d", off[0], off[n], len(to))
+	}
+	backing := make([]Edge, len(to))
+	adj := make([][]Edge, n)
+	for u := 0; u < n; u++ {
+		lo, hi := off[u], off[u+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: adjacency offsets decrease at node %d", u)
+		}
+		prev := -1
+		for i := lo; i < hi; i++ {
+			v := int(to[i])
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: neighbor id %d of node %d outside [0, %d)", v, u, n)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph: adjacency of node %d not strictly sorted", u)
+			}
+			prev = v
+			backing[i] = Edge{To: v, Weight: weight[i]}
+		}
+		adj[u] = backing[lo:hi:hi]
+	}
+	return &Graph{n: n, adj: adj}, nil
+}

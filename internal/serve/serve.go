@@ -125,6 +125,21 @@ type Config struct {
 	// ErrDrainTimeout while the flush finishes in the background, and
 	// late-arriving requests get ErrClosed either way.
 	DrainTimeout time.Duration
+	// Snapshot, when set, enables the POST /v1/snapshot admin endpoint:
+	// the callback persists the backend's world and reports where and how
+	// big. The callback must be safe against concurrent queries and
+	// ingestion (the dehealth backend takes the world's read lock, so a
+	// snapshot waits out any in-flight ingest batch and vice versa). When
+	// nil, the endpoint answers 501 Not Implemented.
+	Snapshot func() (SnapshotInfo, error)
+}
+
+// SnapshotInfo is the POST /v1/snapshot reply: where the snapshot was
+// written, its size, and how long the write took.
+type SnapshotInfo struct {
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"`
+	Millis int64  `json:"millis"`
 }
 
 func (c Config) withDefaults() Config {
@@ -534,6 +549,7 @@ type errorWire struct {
 //	POST /v1/query   {"user": 17, "k": 10}              -> {"user": 17, "candidates": [{"user": 3, "score": 1.87}, ...]}
 //	POST /v1/ingest  {"name": "...", "posts": [...]}    -> {"user": 42}
 //	POST /v1/ingest  [{"name": ..., "posts": ...}, ...] -> {"users": [42, 43, ...]}
+//	POST /v1/snapshot                                   -> SnapshotInfo (501 when Config.Snapshot is nil)
 //	GET  /v1/stats                                      -> Stats (aggregate + per-shard counts)
 //	GET  /healthz                                       -> ok
 //
@@ -544,6 +560,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -632,6 +649,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestReplyWire{User: res.user})
+}
+
+// handleSnapshot runs the configured snapshot callback. The callback is
+// invoked on the request goroutine, not through the dispatcher: world
+// locking inside the callback already serializes it against ingestion,
+// and routing a potentially long write through the micro-batch channel
+// would stall every query behind it.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Snapshot == nil {
+		writeJSON(w, http.StatusNotImplemented, errorWire{Error: "snapshotting not configured (start the server with a snapshot path)"})
+		return
+	}
+	info, err := s.cfg.Snapshot()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorWire{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// readFileBytes is the portable fallback: no memory mapping, the whole
+// file is read into heap memory and sections are decoded by copying.
+func readFileBytes(path string, noMmap bool) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	return data, false, err
+}

@@ -1,0 +1,262 @@
+// Package snapshot implements the versioned, checksummed, mmap-able
+// on-disk format for a prepared De-Health world — the artifact behind the
+// warm-restart path (docs/SNAPSHOT.md): the offline prepare pipeline runs
+// once, Save freezes its outputs (feature matrices, UDA adjacency, scorer
+// SoA caches, per-shard inverted indexes, datasets), and Load maps the
+// file back so a query server boots in milliseconds instead of replaying
+// minutes of extraction.
+//
+// A snapshot file is a header (magic, format version, section count, CRCs)
+// followed by a section table and 8-byte-aligned little-endian sections.
+// Fixed-width numeric sections hold the hot arrays exactly as the scoring
+// kernel walks them in memory; variable-length sections (the meta document
+// and the two dataset JSON blobs — the name/text string tables) sit at the
+// tail. Every section is CRC-32C checksummed, and the table itself carries
+// its own checksum, so truncation and corruption are detected before any
+// state is handed to callers: Load either returns a fully validated World
+// or a typed error (ErrNotSnapshot, ErrVersion, ErrTruncated, ErrCorrupt)
+// — never a partially loaded world.
+//
+// On load the numeric sections become typed slices. When the platform
+// allows it (little-endian, 64-bit ints, 8-byte section alignment — and
+// mmap support unless Options.NoMmap asks for the copying path) the slices
+// alias the mapping zero-copy; otherwise each section is decoded into
+// fresh heap memory. Aliased memory is read-only: every consumer of the
+// restored arrays only reads them (growth of the anonymized side appends,
+// which reallocates), per the contract in docs/SNAPSHOT.md.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Format identity. The magic bytes never change; Version bumps on any
+// incompatible layout change, and Load rejects files whose version it does
+// not implement (no forward compatibility: a reader never guesses at
+// sections it does not understand).
+const (
+	// Version is the snapshot format version this package reads and writes.
+	Version = 1
+
+	magic      = "DHSNAP"
+	headerSize = 24 // magic[6] + version u16 + count u32 + tableCRC u32 + fileSize u64
+	entrySize  = 24 // id u32 + crc u32 + off u64 + len u64
+)
+
+// Typed load errors. Load wraps them with detail; match with errors.Is.
+var (
+	// ErrNotSnapshot marks a file that does not start with the snapshot
+	// magic — not a snapshot at all, rather than a damaged one.
+	ErrNotSnapshot = errors.New("snapshot: not a dehealth snapshot file")
+	// ErrVersion marks a snapshot written by an unsupported (typically
+	// future) format version.
+	ErrVersion = errors.New("snapshot: unsupported snapshot format version")
+	// ErrTruncated marks a file shorter than its header claims.
+	ErrTruncated = errors.New("snapshot: truncated snapshot file")
+	// ErrCorrupt marks a structurally invalid file: checksum mismatch,
+	// malformed section table, or sections that fail decoding.
+	ErrCorrupt = errors.New("snapshot: corrupt snapshot file")
+)
+
+// castagnoli is the CRC-32C table shared by every checksum in the format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Load.
+type Options struct {
+	// NoMmap forces the copying load path: the file is read into heap
+	// memory and every section is decoded into freshly allocated slices,
+	// so nothing in the loaded world aliases the file. The default (false)
+	// memory-maps the file and hands out zero-copy slice views over the
+	// mapping where alignment and byte order allow.
+	NoMmap bool
+}
+
+// rawSection is one section: a typed id and its raw little-endian bytes.
+type rawSection struct {
+	id   uint32
+	data []byte
+}
+
+// align8 rounds n up to the next multiple of 8 — the section alignment
+// that makes zero-copy float64/int64 views safe on the mapped file.
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// writeRaw lays the sections out in order and writes the file atomically
+// (temp file in the same directory + rename), so a crash mid-save can
+// never leave a half-written snapshot under the target name.
+func writeRaw(path string, secs []rawSection) (err error) {
+	// Layout pass: assign aligned offsets.
+	off := align8(headerSize + uint64(len(secs))*entrySize)
+	offs := make([]uint64, len(secs))
+	for i, s := range secs {
+		offs[i] = off
+		off = align8(off + uint64(len(s.data)))
+	}
+	total := off
+
+	header := make([]byte, headerSize+len(secs)*entrySize)
+	copy(header, magic)
+	binary.LittleEndian.PutUint16(header[6:], Version)
+	binary.LittleEndian.PutUint32(header[8:], uint32(len(secs)))
+	binary.LittleEndian.PutUint64(header[16:], total)
+	for i, s := range secs {
+		e := header[headerSize+i*entrySize:]
+		binary.LittleEndian.PutUint32(e[0:], s.id)
+		binary.LittleEndian.PutUint32(e[4:], crc32.Checksum(s.data, castagnoli))
+		binary.LittleEndian.PutUint64(e[8:], offs[i])
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.data)))
+	}
+	binary.LittleEndian.PutUint32(header[12:], crc32.Checksum(header[headerSize:], castagnoli))
+
+	tmp, err := os.CreateTemp(dirOf(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(header); err != nil {
+		return err
+	}
+	pos := uint64(len(header))
+	var pad [8]byte
+	for i, s := range secs {
+		if offs[i] > pos {
+			if _, err = tmp.Write(pad[:offs[i]-pos]); err != nil {
+				return err
+			}
+			pos = offs[i]
+		}
+		if _, err = tmp.Write(s.data); err != nil {
+			return err
+		}
+		pos += uint64(len(s.data))
+	}
+	if total > pos { // trailing alignment of the last section
+		if _, err = tmp.Write(pad[:total-pos]); err != nil {
+			return err
+		}
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// dirOf returns the directory of path ("." for a bare file name), for
+// same-filesystem temp-file placement.
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// rawFile is a validated snapshot file: the backing bytes (mapped or
+// heap), the decoded section table, and whether sections may be aliased
+// zero-copy.
+type rawFile struct {
+	data []byte
+	// zeroCopy reports that typed slices may alias data directly: the file
+	// is memory-mapped (so the backing never moves and is never written)
+	// and the platform is little-endian with 64-bit ints.
+	zeroCopy bool
+	secs     []rawSection // data fields alias rawFile.data
+}
+
+// readRaw opens, (optionally) maps and fully validates a snapshot file:
+// magic, version, size, table checksum, per-section bounds, alignment and
+// checksums. Any failure returns a typed error and no data.
+func readRaw(path string, noMmap bool) (*rawFile, error) {
+	data, mapped, err := readFileBytes(path, noMmap)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
+	}
+	if string(data[:6]) != magic {
+		return nil, ErrNotSnapshot
+	}
+	if v := binary.LittleEndian.Uint16(data[6:]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, v, Version)
+	}
+	count := binary.LittleEndian.Uint32(data[8:])
+	tableCRC := binary.LittleEndian.Uint32(data[12:])
+	stated := binary.LittleEndian.Uint64(data[16:])
+	if uint64(len(data)) < stated {
+		return nil, fmt.Errorf("%w: file is %d bytes, header states %d", ErrTruncated, len(data), stated)
+	}
+	if uint64(len(data)) != stated {
+		return nil, fmt.Errorf("%w: file is %d bytes, header states %d", ErrCorrupt, len(data), stated)
+	}
+	tableEnd := uint64(headerSize) + uint64(count)*entrySize
+	if tableEnd > stated {
+		return nil, fmt.Errorf("%w: section table (%d entries) exceeds file", ErrCorrupt, count)
+	}
+	table := data[headerSize:tableEnd]
+	if crc32.Checksum(table, castagnoli) != tableCRC {
+		return nil, fmt.Errorf("%w: section table checksum mismatch", ErrCorrupt)
+	}
+	f := &rawFile{data: data, zeroCopy: mapped && nativeLittleEndian && intIs64}
+	f.secs = make([]rawSection, count)
+	for i := range f.secs {
+		e := table[i*entrySize:]
+		id := binary.LittleEndian.Uint32(e[0:])
+		crc := binary.LittleEndian.Uint32(e[4:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		n := binary.LittleEndian.Uint64(e[16:])
+		if off%8 != 0 || off < tableEnd || off+n < off || off+n > stated {
+			return nil, fmt.Errorf("%w: section %d spans [%d, %d) outside the file", ErrCorrupt, id, off, off+n)
+		}
+		body := data[off : off+n]
+		if crc32.Checksum(body, castagnoli) != crc {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch", ErrCorrupt, id)
+		}
+		f.secs[i] = rawSection{id: id, data: body}
+	}
+	return f, nil
+}
+
+// section returns the single section with the given id, or an ErrCorrupt
+// error when it is absent or duplicated.
+func (f *rawFile) section(id uint32) ([]byte, error) {
+	var found []byte
+	seen := false
+	for _, s := range f.secs {
+		if s.id == id {
+			if seen {
+				return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, id)
+			}
+			found, seen = s.data, true
+		}
+	}
+	if !seen {
+		return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, id)
+	}
+	return found, nil
+}
+
+// sections returns every section with the given id, in file order
+// (repeated ids carry per-shard payloads).
+func (f *rawFile) sections(id uint32) [][]byte {
+	var out [][]byte
+	for _, s := range f.secs {
+		if s.id == id {
+			out = append(out, s.data)
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// fixtureWorld builds a small structurally valid world: two users per
+// side, one landmark, one pruning shard index.
+func fixtureWorld() *World {
+	return &World{
+		Meta: Meta{
+			Shards: 1, Prune: true, PruneBands: 16, PruneMaxCandidateFrac: 0.5,
+			C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 1,
+			Dim: 3, Bigrams: [][2]int{{0, 1}, {2, 3}},
+		},
+		Anon: Side{
+			Dataset:    []byte(`{"name":"anon"}`),
+			Feat:       []float64{1, 2, 3, 4, 5, 6},
+			AttrIdx:    []int32{0, 2, 3},
+			AttrWeight: []int32{1, 1, 2},
+			AttrOff:    []int{0, 1, 3},
+			AdjOff:     []int{0, 1, 2},
+			AdjTo:      []int32{1, 0},
+			AdjWeight:  []float64{0.5, 0.5},
+		},
+		Aux: Side{
+			Dataset:    []byte(`{"name":"aux"}`),
+			Feat:       []float64{6, 5, 4, 3, 2, 1},
+			AttrIdx:    []int32{1, 0, 2},
+			AttrWeight: []int32{2, 1, 1},
+			AttrOff:    []int{0, 1, 3},
+			AdjOff:     []int{0, 1, 2},
+			AdjTo:      []int32{1, 0},
+			AdjWeight:  []float64{0.25, 0.25},
+		},
+		Scorer: ScorerState{
+			Landmarks: []int{0},
+			NCS:       []float64{1, 2, 3},
+			NCSOff:    []int{0, 1, 3},
+			NCSNorm:   []float64{1, 1},
+			Close:     []float64{0.1, 0.2},
+			CloseNorm: []float64{1, 1},
+			Wcl:       []float64{0.3, 0.4},
+			WclNorm:   []float64{1, 1},
+
+			AuxHbar:      1,
+			AuxDeg:       []float64{1, 1},
+			AuxWdeg:      []float64{2, 2},
+			AuxNCS:       []float64{5},
+			AuxNCSOff:    []int{0, 0, 1},
+			AuxNCSNorm:   []float64{1, 1},
+			AuxClose:     []float64{0.5, 0.6},
+			AuxCloseNorm: []float64{1, 1},
+			AuxWcl:       []float64{0.7, 0.8},
+			AuxWclNorm:   []float64{1, 1},
+		},
+		Indexes: []IndexParts{{
+			N: 2, Bands: 1, MaxCandidateFrac: 0.5,
+			PostOff:  []int{0, 1, 2, 2},
+			PostIDs:  []int32{0, 1},
+			BandOf:   []int32{0, 0},
+			BandOff:  []int{0, 2},
+			BandMeta: []float64{1, 1, 2, 2, 1, 1, 1, 1, 1, 1},
+			BandIDs:  []int32{0, 1},
+		}},
+	}
+}
+
+func saveFixture(t *testing.T) (string, *World) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "world.snap")
+	w := fixtureWorld()
+	if err := Save(path, w); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return path, w
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, noMmap := range []bool{false, true} {
+		path, want := saveFixture(t)
+		got, err := Load(path, Options{NoMmap: noMmap})
+		if err != nil {
+			t.Fatalf("Load(noMmap=%v): %v", noMmap, err)
+		}
+		got.Mapped = false // not part of the content contract
+		if !reflect.DeepEqual(&want.Meta, &got.Meta) {
+			t.Errorf("noMmap=%v meta mismatch:\n want %+v\n got  %+v", noMmap, want.Meta, got.Meta)
+		}
+		if !reflect.DeepEqual(&want.Anon, &got.Anon) {
+			t.Errorf("noMmap=%v anon side mismatch:\n want %+v\n got  %+v", noMmap, want.Anon, got.Anon)
+		}
+		if !reflect.DeepEqual(&want.Aux, &got.Aux) {
+			t.Errorf("noMmap=%v aux side mismatch:\n want %+v\n got  %+v", noMmap, want.Aux, got.Aux)
+		}
+		if !reflect.DeepEqual(&want.Scorer, &got.Scorer) {
+			t.Errorf("noMmap=%v scorer mismatch:\n want %+v\n got  %+v", noMmap, want.Scorer, got.Scorer)
+		}
+		if !reflect.DeepEqual(want.Indexes, got.Indexes) {
+			t.Errorf("noMmap=%v indexes mismatch:\n want %+v\n got  %+v", noMmap, want.Indexes, got.Indexes)
+		}
+	}
+}
+
+func TestSaveAtomicNoTempLeft(t *testing.T) {
+	path, _ := saveFixture(t)
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "world.snap" {
+		t.Fatalf("directory should hold only the snapshot, got %v", ents)
+	}
+}
+
+func TestLoadNotSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus")
+	if err := os.WriteFile(path, []byte("definitely not a snapshot file, but long enough"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, Options{}); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("want ErrNotSnapshot, got %v", err)
+	}
+}
+
+func TestLoadFutureVersion(t *testing.T) {
+	path, _ := saveFixture(t)
+	mutate(t, path, func(b []byte) { binary.LittleEndian.PutUint16(b[6:], Version+1) })
+	if _, err := Load(path, Options{}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	path, _ := saveFixture(t)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{fi.Size() - 9, fi.Size() / 2, headerSize + 3, 10} {
+		if err := os.Truncate(path, size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path, Options{}); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated to %d bytes: want ErrTruncated, got %v", size, err)
+		}
+	}
+}
+
+func TestLoadSectionCorruption(t *testing.T) {
+	path, _ := saveFixture(t)
+	// Flip a byte inside the first section's body (located through the
+	// table, skipping any alignment padding): its CRC must break.
+	mutate(t, path, func(b []byte) {
+		off := binary.LittleEndian.Uint64(b[headerSize+8:])
+		b[off] ^= 0xff
+	})
+	if _, err := Load(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestLoadTableCorruption(t *testing.T) {
+	path, _ := saveFixture(t)
+	// Flip a byte inside the section table: its own CRC must catch it.
+	mutate(t, path, func(b []byte) { b[headerSize+1] ^= 0xff })
+	if _, err := Load(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestLoadGrownFile(t *testing.T) {
+	path, _ := saveFixture(t)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Load(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("file longer than header states: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestLoadPrunedWithoutIndexes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "world.snap")
+	w := fixtureWorld()
+	w.Indexes = nil // Meta.Prune stays true
+	if err := Save(path, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("pruned snapshot without index sections: want ErrCorrupt, got %v", err)
+	}
+}
+
+// mutate rewrites the file in place through fn (same length).
+func mutate(t *testing.T, path string, fn func([]byte)) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(b)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,540 @@
+// The World container: the typed contents of a snapshot and their mapping
+// onto sections. This file is deliberately dumb — it knows the byte layout
+// of each logical group and validates structure (presence, lengths,
+// monotone offsets), while all semantic assembly (rebuilding stores,
+// scorers, pipelines) lives with the packages that own those types.
+
+package snapshot
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Section ids. Values are part of the on-disk format: never renumber,
+// only append. Repeated ids are only legal for secShardIndex (one section
+// per shard, in shard order).
+const (
+	secMeta uint32 = 1
+
+	secAnonDataset uint32 = 10
+	secAnonFeat    uint32 = 11
+	secAnonAttrIdx uint32 = 12
+	secAnonAttrWt  uint32 = 13
+	secAnonAttrOff uint32 = 14
+	secAnonAdjOff  uint32 = 15
+	secAnonAdjTo   uint32 = 16
+	secAnonAdjWt   uint32 = 17
+
+	secAuxDataset uint32 = 20
+	secAuxFeat    uint32 = 21
+	secAuxAttrIdx uint32 = 22
+	secAuxAttrWt  uint32 = 23
+	secAuxAttrOff uint32 = 24
+	secAuxAdjOff  uint32 = 25
+	secAuxAdjTo   uint32 = 26
+	secAuxAdjWt   uint32 = 27
+
+	secLandmarks   uint32 = 30
+	secNCS         uint32 = 31
+	secNCSOff      uint32 = 32
+	secNCSNorm     uint32 = 33
+	secClose       uint32 = 34
+	secCloseNorm   uint32 = 35
+	secWcl         uint32 = 36
+	secWclNorm     uint32 = 37
+	secAuxDeg      uint32 = 40
+	secAuxWdeg     uint32 = 41
+	secAuxNCS      uint32 = 42
+	secAuxNCSOff   uint32 = 43
+	secAuxNCSNorm  uint32 = 44
+	secAuxClose    uint32 = 45
+	secAuxCloseNrm uint32 = 46
+	secAuxWcl      uint32 = 47
+	secAuxWclNorm  uint32 = 48
+
+	secShardIndex uint32 = 50
+)
+
+// Meta is the snapshot's small JSON-encoded configuration document: the
+// values that pin how the numeric sections must be reassembled.
+type Meta struct {
+	// Shards is the auxiliary partition count the world was prepared with.
+	Shards int `json:"shards"`
+	// Prune records whether the world ran candidate-pruned queries; when
+	// true the file carries Shards secShardIndex sections and the two
+	// Prune* fields echo the indexes' resolved build configuration.
+	Prune                 bool    `json:"prune"`
+	PruneBands            int     `json:"prune_bands,omitempty"`
+	PruneMaxCandidateFrac float64 `json:"prune_max_candidate_frac,omitempty"`
+	// C1, C2, C3 and Landmarks pin the similarity configuration the saved
+	// scorer caches were computed under.
+	C1        float64 `json:"c1"`
+	C2        float64 `json:"c2"`
+	C3        float64 `json:"c3"`
+	Landmarks int     `json:"landmarks"`
+	// Dim is the feature-space width the flat matrices were extracted at;
+	// loading validates it against the restored extractor.
+	Dim int `json:"dim"`
+	// Bigrams is the fitted POS-bigram block (pairs of postag.Tags
+	// indices, feature order) — the extractor's only data-driven state.
+	Bigrams [][2]int `json:"bigrams"`
+}
+
+// Side is one dataset side of the world: the corpus (JSON), its flat
+// post-major feature matrix, the per-user attribute sets in flattened
+// sparse form (Idx/Weight split, AttrOff has users+1 entries), and the
+// frozen UDA adjacency in CSR form (AdjOff has users+1 entries; AdjTo and
+// AdjWeight are sorted per user).
+type Side struct {
+	Dataset    []byte
+	Feat       []float64
+	AttrIdx    []int32
+	AttrWeight []int32
+	AttrOff    []int
+	AdjOff     []int
+	AdjTo      []int32
+	AdjWeight  []float64
+}
+
+// ScorerState is the flat precomputed cache state of the pinned base
+// scorer: the anonymized-side SoA caches and the full auxiliary window,
+// exactly as similarity.Parts lays them out.
+type ScorerState struct {
+	Landmarks []int
+	NCS       []float64
+	NCSOff    []int
+	NCSNorm   []float64
+	Close     []float64
+	CloseNorm []float64
+	Wcl       []float64
+	WclNorm   []float64
+
+	AuxHbar      int
+	AuxDeg       []float64
+	AuxWdeg      []float64
+	AuxNCS       []float64
+	AuxNCSOff    []int
+	AuxNCSNorm   []float64
+	AuxClose     []float64
+	AuxCloseNorm []float64
+	AuxWcl       []float64
+	AuxWclNorm   []float64
+}
+
+// IndexParts is one shard's attribute inverted index plus degree bands in
+// flattened form, mirroring index.Parts. BandMeta carries bandMetaWidth
+// float64 values per band: DegLo, DegHi, WdegLo, WdegHi, NCSNormLo,
+// NCSNormHi, CloseNormLo, CloseNormHi, WclNormLo, WclNormHi.
+type IndexParts struct {
+	N                int
+	Bands            int
+	MaxCandidateFrac float64
+	PostOff          []int
+	PostIDs          []int32
+	BandOf           []int32
+	BandOff          []int
+	BandMeta         []float64
+	BandIDs          []int32
+}
+
+// bandMetaWidth is the number of float64 bound values stored per band.
+const bandMetaWidth = 10
+
+// World is the full typed content of a snapshot file.
+type World struct {
+	Meta    Meta
+	Anon    Side
+	Aux     Side
+	Scorer  ScorerState
+	Indexes []IndexParts
+	// Mapped reports (after Load) whether the numeric slices alias a
+	// read-only memory mapping of the file.
+	Mapped bool
+}
+
+// Save writes w to path atomically in format Version.
+func Save(path string, w *World) error {
+	meta, err := json.Marshal(&w.Meta)
+	if err != nil {
+		return fmt.Errorf("snapshot: encoding meta: %v", err)
+	}
+	secs := []rawSection{
+		// Fixed-width numeric sections first, in id order per group.
+		{secAnonFeat, f64Bytes(w.Anon.Feat)},
+		{secAnonAttrIdx, i32Bytes(w.Anon.AttrIdx)},
+		{secAnonAttrWt, i32Bytes(w.Anon.AttrWeight)},
+		{secAnonAttrOff, i64BytesFromInts(w.Anon.AttrOff)},
+		{secAnonAdjOff, i64BytesFromInts(w.Anon.AdjOff)},
+		{secAnonAdjTo, i32Bytes(w.Anon.AdjTo)},
+		{secAnonAdjWt, f64Bytes(w.Anon.AdjWeight)},
+		{secAuxFeat, f64Bytes(w.Aux.Feat)},
+		{secAuxAttrIdx, i32Bytes(w.Aux.AttrIdx)},
+		{secAuxAttrWt, i32Bytes(w.Aux.AttrWeight)},
+		{secAuxAttrOff, i64BytesFromInts(w.Aux.AttrOff)},
+		{secAuxAdjOff, i64BytesFromInts(w.Aux.AdjOff)},
+		{secAuxAdjTo, i32Bytes(w.Aux.AdjTo)},
+		{secAuxAdjWt, f64Bytes(w.Aux.AdjWeight)},
+		{secLandmarks, i64BytesFromInts(w.Scorer.Landmarks)},
+		{secNCS, f64Bytes(w.Scorer.NCS)},
+		{secNCSOff, i64BytesFromInts(w.Scorer.NCSOff)},
+		{secNCSNorm, f64Bytes(w.Scorer.NCSNorm)},
+		{secClose, f64Bytes(w.Scorer.Close)},
+		{secCloseNorm, f64Bytes(w.Scorer.CloseNorm)},
+		{secWcl, f64Bytes(w.Scorer.Wcl)},
+		{secWclNorm, f64Bytes(w.Scorer.WclNorm)},
+		{secAuxDeg, f64Bytes(w.Scorer.AuxDeg)},
+		{secAuxWdeg, f64Bytes(w.Scorer.AuxWdeg)},
+		{secAuxNCS, f64Bytes(w.Scorer.AuxNCS)},
+		{secAuxNCSOff, i64BytesFromInts(w.Scorer.AuxNCSOff)},
+		{secAuxNCSNorm, f64Bytes(w.Scorer.AuxNCSNorm)},
+		{secAuxClose, f64Bytes(w.Scorer.AuxClose)},
+		{secAuxCloseNrm, f64Bytes(w.Scorer.AuxCloseNorm)},
+		{secAuxWcl, f64Bytes(w.Scorer.AuxWcl)},
+		{secAuxWclNorm, f64Bytes(w.Scorer.AuxWclNorm)},
+	}
+	for i := range w.Indexes {
+		secs = append(secs, rawSection{secShardIndex, encodeIndex(&w.Indexes[i])})
+	}
+	// Variable-length string tables at the tail: the meta document and the
+	// two dataset JSON blobs (user names, thread boards, post texts).
+	secs = append(secs,
+		rawSection{secMeta, meta},
+		rawSection{secAnonDataset, w.Anon.Dataset},
+		rawSection{secAuxDataset, w.Aux.Dataset},
+	)
+	return writeRaw(path, secs)
+}
+
+// Load reads, validates and decodes the snapshot at path. On success every
+// slice of the returned World is fully structurally validated; on any
+// failure the error matches one of the typed errors and no World is
+// returned.
+func Load(path string, opt Options) (*World, error) {
+	f, err := readRaw(path, opt.NoMmap)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Mapped: f.zeroCopy}
+
+	metaBytes, err := f.section(secMeta)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(metaBytes, &w.Meta); err != nil {
+		return nil, fmt.Errorf("%w: meta section: %v", ErrCorrupt, err)
+	}
+
+	if w.Anon, err = f.decodeSide(secAnonDataset); err != nil {
+		return nil, err
+	}
+	if w.Aux, err = f.decodeSide(secAuxDataset); err != nil {
+		return nil, err
+	}
+	if err = f.decodeScorer(&w.Scorer); err != nil {
+		return nil, err
+	}
+	for _, blob := range f.sections(secShardIndex) {
+		ip, err := decodeIndex(blob)
+		if err != nil {
+			return nil, err
+		}
+		w.Indexes = append(w.Indexes, ip)
+	}
+	if w.Meta.Prune && len(w.Indexes) == 0 {
+		return nil, fmt.Errorf("%w: pruned snapshot carries no shard index sections", ErrCorrupt)
+	}
+	// The exact section count is validated against the reconstructed shard
+	// partition by the assembling layer — Meta.Shards is the requested
+	// count, which the partitioner clamps to the auxiliary population.
+	return w, nil
+}
+
+// decodeSide decodes one side's sections; base is the side's dataset
+// section id (the other ids are at fixed offsets from it).
+func (f *rawFile) decodeSide(base uint32) (Side, error) {
+	var s Side
+	var err error
+	if s.Dataset, err = f.section(base); err != nil {
+		return s, err
+	}
+	alias := f.zeroCopy
+	if s.Feat, err = f.sectionF64(base+1, alias); err != nil {
+		return s, err
+	}
+	if s.AttrIdx, err = f.sectionI32(base+2, alias); err != nil {
+		return s, err
+	}
+	if s.AttrWeight, err = f.sectionI32(base+3, alias); err != nil {
+		return s, err
+	}
+	if s.AttrOff, err = f.sectionInts(base+4, alias); err != nil {
+		return s, err
+	}
+	if s.AdjOff, err = f.sectionInts(base+5, alias); err != nil {
+		return s, err
+	}
+	if s.AdjTo, err = f.sectionI32(base+6, alias); err != nil {
+		return s, err
+	}
+	if s.AdjWeight, err = f.sectionF64(base+7, alias); err != nil {
+		return s, err
+	}
+	if len(s.AttrIdx) != len(s.AttrWeight) {
+		return s, fmt.Errorf("%w: attribute idx/weight length mismatch (%d vs %d)", ErrCorrupt, len(s.AttrIdx), len(s.AttrWeight))
+	}
+	if err = checkOffsets(s.AttrOff, len(s.AttrIdx), "attr"); err != nil {
+		return s, err
+	}
+	if len(s.AdjTo) != len(s.AdjWeight) {
+		return s, fmt.Errorf("%w: adjacency to/weight length mismatch (%d vs %d)", ErrCorrupt, len(s.AdjTo), len(s.AdjWeight))
+	}
+	if err = checkOffsets(s.AdjOff, len(s.AdjTo), "adjacency"); err != nil {
+		return s, err
+	}
+	if len(s.AttrOff) != len(s.AdjOff) {
+		return s, fmt.Errorf("%w: attr table covers %d users, adjacency %d", ErrCorrupt, len(s.AttrOff)-1, len(s.AdjOff)-1)
+	}
+	return s, nil
+}
+
+// decodeScorer decodes the scorer cache sections and validates the flat
+// layout invariants (offset monotonicity, matching row counts, stride
+// divisibility).
+func (f *rawFile) decodeScorer(sc *ScorerState) error {
+	alias := f.zeroCopy
+	var err error
+	if sc.Landmarks, err = f.sectionInts(secLandmarks, alias); err != nil {
+		return err
+	}
+	if sc.NCS, err = f.sectionF64(secNCS, alias); err != nil {
+		return err
+	}
+	if sc.NCSOff, err = f.sectionInts(secNCSOff, alias); err != nil {
+		return err
+	}
+	if sc.NCSNorm, err = f.sectionF64(secNCSNorm, alias); err != nil {
+		return err
+	}
+	if sc.Close, err = f.sectionF64(secClose, alias); err != nil {
+		return err
+	}
+	if sc.CloseNorm, err = f.sectionF64(secCloseNorm, alias); err != nil {
+		return err
+	}
+	if sc.Wcl, err = f.sectionF64(secWcl, alias); err != nil {
+		return err
+	}
+	if sc.WclNorm, err = f.sectionF64(secWclNorm, alias); err != nil {
+		return err
+	}
+	if sc.AuxDeg, err = f.sectionF64(secAuxDeg, alias); err != nil {
+		return err
+	}
+	if sc.AuxWdeg, err = f.sectionF64(secAuxWdeg, alias); err != nil {
+		return err
+	}
+	if sc.AuxNCS, err = f.sectionF64(secAuxNCS, alias); err != nil {
+		return err
+	}
+	if sc.AuxNCSOff, err = f.sectionInts(secAuxNCSOff, alias); err != nil {
+		return err
+	}
+	if sc.AuxNCSNorm, err = f.sectionF64(secAuxNCSNorm, alias); err != nil {
+		return err
+	}
+	if sc.AuxClose, err = f.sectionF64(secAuxClose, alias); err != nil {
+		return err
+	}
+	if sc.AuxCloseNorm, err = f.sectionF64(secAuxCloseNrm, alias); err != nil {
+		return err
+	}
+	if sc.AuxWcl, err = f.sectionF64(secAuxWcl, alias); err != nil {
+		return err
+	}
+	if sc.AuxWclNorm, err = f.sectionF64(secAuxWclNorm, alias); err != nil {
+		return err
+	}
+	if err = checkOffsets(sc.NCSOff, len(sc.NCS), "anon NCS"); err != nil {
+		return err
+	}
+	if err = checkOffsets(sc.AuxNCSOff, len(sc.AuxNCS), "aux NCS"); err != nil {
+		return err
+	}
+	n2 := len(sc.AuxDeg)
+	if len(sc.AuxNCSOff) != n2+1 {
+		return fmt.Errorf("%w: aux NCS offsets cover %d users, window has %d", ErrCorrupt, len(sc.AuxNCSOff)-1, n2)
+	}
+	if n2 > 0 {
+		if len(sc.AuxClose)%n2 != 0 || len(sc.AuxWcl) != len(sc.AuxClose) {
+			return fmt.Errorf("%w: aux closeness matrix %d x10 does not tile %d users", ErrCorrupt, len(sc.AuxClose), n2)
+		}
+		sc.AuxHbar = len(sc.AuxClose) / n2
+	}
+	return nil
+}
+
+// checkOffsets validates a flat-layout offset table: first entry 0,
+// monotone non-decreasing, last entry the flat length.
+func checkOffsets(off []int, flatLen int, what string) error {
+	if len(off) == 0 {
+		return fmt.Errorf("%w: empty %s offset table", ErrCorrupt, what)
+	}
+	if off[0] != 0 || off[len(off)-1] != flatLen {
+		return fmt.Errorf("%w: %s offsets span [%d, %d), flat array has %d", ErrCorrupt, what, off[0], off[len(off)-1], flatLen)
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("%w: %s offsets decrease at %d", ErrCorrupt, what, i)
+		}
+	}
+	return nil
+}
+
+func (f *rawFile) sectionF64(id uint32, alias bool) ([]float64, error) {
+	b, err := f.section(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeF64(b, alias)
+}
+
+func (f *rawFile) sectionInts(id uint32, alias bool) ([]int, error) {
+	b, err := f.section(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInts(b, alias)
+}
+
+func (f *rawFile) sectionI32(id uint32, alias bool) ([]int32, error) {
+	b, err := f.section(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeI32(b, alias)
+}
+
+// encodeIndex serializes one shard's index parts as a self-describing
+// little-endian blob: a fixed header of counts, then the flat arrays.
+// Index sections are always decoded by copying — they are small relative
+// to the feature and cache sections, and the sub-arrays inside a blob
+// cannot all be 8-byte aligned anyway.
+func encodeIndex(p *IndexParts) []byte {
+	numAttrs := len(p.PostOff) - 1
+	if numAttrs < 0 {
+		numAttrs = 0
+	}
+	numBands := 0
+	if len(p.BandOff) > 0 {
+		numBands = len(p.BandOff) - 1
+	}
+	size := 7*8 + (numAttrs+1)*8 + len(p.PostIDs)*4 + len(p.BandOf)*4 +
+		(numBands+1)*8 + len(p.BandMeta)*8 + len(p.BandIDs)*4
+	out := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint64(out[0:], uint64(p.N))
+	le.PutUint64(out[8:], uint64(p.Bands))
+	le.PutUint64(out[16:], math.Float64bits(p.MaxCandidateFrac))
+	le.PutUint64(out[24:], uint64(numAttrs))
+	le.PutUint64(out[32:], uint64(numBands))
+	le.PutUint64(out[40:], uint64(len(p.PostIDs)))
+	le.PutUint64(out[48:], uint64(len(p.BandIDs)))
+	pos := 56
+	putInts := func(v []int) {
+		for _, x := range v {
+			le.PutUint64(out[pos:], uint64(int64(x)))
+			pos += 8
+		}
+	}
+	putI32 := func(v []int32) {
+		for _, x := range v {
+			le.PutUint32(out[pos:], uint32(x))
+			pos += 4
+		}
+	}
+	putF64 := func(v []float64) {
+		for _, x := range v {
+			le.PutUint64(out[pos:], math.Float64bits(x))
+			pos += 8
+		}
+	}
+	if numAttrs == 0 && len(p.PostOff) == 0 {
+		putInts([]int{0})
+	} else {
+		putInts(p.PostOff)
+	}
+	putI32(p.PostIDs)
+	putI32(p.BandOf)
+	if numBands == 0 && len(p.BandOff) == 0 {
+		putInts([]int{0})
+	} else {
+		putInts(p.BandOff)
+	}
+	putF64(p.BandMeta)
+	putI32(p.BandIDs)
+	return out
+}
+
+// decodeIndex is encodeIndex's inverse, with full structural validation.
+func decodeIndex(b []byte) (IndexParts, error) {
+	var p IndexParts
+	le := binary.LittleEndian
+	if len(b) < 56 {
+		return p, fmt.Errorf("%w: shard index blob of %d bytes", ErrCorrupt, len(b))
+	}
+	p.N = int(int64(le.Uint64(b[0:])))
+	p.Bands = int(int64(le.Uint64(b[8:])))
+	p.MaxCandidateFrac = math.Float64frombits(le.Uint64(b[16:]))
+	numAttrs := int(int64(le.Uint64(b[24:])))
+	numBands := int(int64(le.Uint64(b[32:])))
+	postIDs := int(int64(le.Uint64(b[40:])))
+	bandIDs := int(int64(le.Uint64(b[48:])))
+	if p.N < 0 || numAttrs < 0 || numBands < 0 || postIDs < 0 || bandIDs < 0 {
+		return p, fmt.Errorf("%w: negative shard index counts", ErrCorrupt)
+	}
+	want := 56 + (numAttrs+1)*8 + postIDs*4 + p.N*4 + (numBands+1)*8 + numBands*bandMetaWidth*8 + bandIDs*4
+	if len(b) != want {
+		return p, fmt.Errorf("%w: shard index blob is %d bytes, counts demand %d", ErrCorrupt, len(b), want)
+	}
+	pos := 56
+	getInts := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = int(int64(le.Uint64(b[pos:])))
+			pos += 8
+		}
+		return out
+	}
+	getI32 := func(n int) []int32 {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(le.Uint32(b[pos:]))
+			pos += 4
+		}
+		return out
+	}
+	getF64 := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(le.Uint64(b[pos:]))
+			pos += 8
+		}
+		return out
+	}
+	p.PostOff = getInts(numAttrs + 1)
+	p.PostIDs = getI32(postIDs)
+	p.BandOf = getI32(p.N)
+	p.BandOff = getInts(numBands + 1)
+	p.BandMeta = getF64(numBands * bandMetaWidth)
+	p.BandIDs = getI32(bandIDs)
+	if err := checkOffsets(p.PostOff, len(p.PostIDs), "shard index postings"); err != nil {
+		return p, err
+	}
+	if err := checkOffsets(p.BandOff, len(p.BandIDs), "shard index bands"); err != nil {
+		return p, err
+	}
+	return p, nil
+}

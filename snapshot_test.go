@@ -1,0 +1,329 @@
+package dehealth
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// snapOptions is the preparation configuration the snapshot tests pin:
+// small enough to keep the matrix fast, with every subsystem the snapshot
+// must carry (sharding, pruning) toggled by the caller.
+func snapOptions(shards int, prune bool) Options {
+	opt := DefaultOptions()
+	opt.MaxBigrams = 50
+	opt.Landmarks = 5
+	opt.Shards = shards
+	opt.Prune = prune
+	return opt
+}
+
+func snapWorld(t *testing.T, users int, seed int64, shards int, prune bool) (*PreparedWorld, Options) {
+	t.Helper()
+	w := GenerateWorld(WorldConfig{WebMDUsers: users, HBUsers: users, Seed: seed})
+	split := SplitClosedWorld(w.WebMD, 0.5, seed+1)
+	opt := snapOptions(shards, prune)
+	return PrepareWorld(split.Anon, split.Aux, opt), opt
+}
+
+// worldAnswers collects every user's QueryUser answer plus one full
+// QueryBatch — the complete query surface the parity tests compare.
+func worldAnswers(t *testing.T, pw *PreparedWorld, k int, opt Options) ([][]Candidate, [][]Candidate) {
+	t.Helper()
+	anon, _ := pw.Sizes()
+	users := make([]int, anon)
+	single := make([][]Candidate, anon)
+	for u := 0; u < anon; u++ {
+		users[u] = u
+		cands, err := pw.QueryUser(u, k, opt)
+		if err != nil {
+			t.Fatalf("QueryUser(%d): %v", u, err)
+		}
+		single[u] = cands
+	}
+	batch, err := pw.QueryBatch(users, k, opt)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	return single, batch
+}
+
+// sameCandidates demands bit-identity: same users in the same order with
+// exactly equal float64 scores.
+func sameCandidates(t *testing.T, label string, want, got [][]Candidate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d answer sets, want %d", label, len(got), len(want))
+	}
+	for u := range want {
+		if len(want[u]) != len(got[u]) {
+			t.Fatalf("%s: user %d got %d candidates, want %d", label, u, len(got[u]), len(want[u]))
+		}
+		for i := range want[u] {
+			if want[u][i] != got[u][i] {
+				t.Fatalf("%s: user %d candidate %d: got %+v, want %+v", label, u, i, got[u][i], want[u][i])
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripParity is the PR's acceptance contract: across
+// shard counts, pruning on and off, and both load paths (mmap and
+// copying), a saved-and-reloaded world answers QueryUser and QueryBatch
+// byte-for-byte identically to the world that saved it.
+func TestSnapshotRoundTripParity(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		for _, prune := range []bool{false, true} {
+			pw, opt := snapWorld(t, 20, int64(1000+10*shards), shards, prune)
+			wantSingle, wantBatch := worldAnswers(t, pw, 5, opt)
+
+			path := filepath.Join(t.TempDir(), "world.snap")
+			if err := pw.Snapshot(path); err != nil {
+				t.Fatalf("shards=%d prune=%v: Snapshot: %v", shards, prune, err)
+			}
+			for _, noMmap := range []bool{false, true} {
+				lw, err := LoadWorld(path, LoadOptions{NoMmap: noMmap})
+				if err != nil {
+					t.Fatalf("shards=%d prune=%v noMmap=%v: LoadWorld: %v", shards, prune, noMmap, err)
+				}
+				la, lx := lw.Sizes()
+				wa, wx := pw.Sizes()
+				if la != wa || lx != wx {
+					t.Fatalf("restored sizes (%d, %d), want (%d, %d)", la, lx, wa, wx)
+				}
+				gotSingle, gotBatch := worldAnswers(t, lw, 5, lw.PreparedOptions())
+				label := labelOf(shards, prune, noMmap)
+				sameCandidates(t, label+" QueryUser", wantSingle, gotSingle)
+				sameCandidates(t, label+" QueryBatch", wantBatch, gotBatch)
+				if prune {
+					if s := lw.PruneStats(); !s.Enabled || s.Queries == 0 {
+						t.Fatalf("%s: pruning inactive on the restored world: %+v", label, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func labelOf(shards int, prune, noMmap bool) string {
+	l := "shards=1"
+	if shards != 1 {
+		l = "shards=n"
+	}
+	if prune {
+		l += " pruned"
+	}
+	if noMmap {
+		l += " no-mmap"
+	}
+	return l
+}
+
+// TestSnapshotRoundTripSecondGeneration re-snapshots a loaded world: the
+// restore must be complete enough to save again, and the grandchild must
+// still answer identically.
+func TestSnapshotRoundTripSecondGeneration(t *testing.T) {
+	pw, opt := snapWorld(t, 16, 2000, 2, true)
+	want, _ := worldAnswers(t, pw, 4, opt)
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "gen1.snap")
+	p2 := filepath.Join(dir, "gen2.snap")
+	if err := pw.Snapshot(p1); err != nil {
+		t.Fatal(err)
+	}
+	w1, err := LoadWorld(p1, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Snapshot(p2); err != nil {
+		t.Fatalf("re-snapshotting a loaded world: %v", err)
+	}
+	w2, err := LoadWorld(p2, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := worldAnswers(t, w2, 4, w2.PreparedOptions())
+	sameCandidates(t, "second generation", want, got)
+}
+
+// TestSnapshotIngestAfterLoad proves a restored world keeps growing: the
+// anonymized side accepts new accounts (appends must reallocate, never
+// write the read-only mapping) and both old and new users stay queryable.
+func TestSnapshotIngestAfterLoad(t *testing.T) {
+	pw, opt := snapWorld(t, 16, 3000, 2, false)
+	path := filepath.Join(t.TempDir(), "world.snap")
+	if err := pw.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	lw, err := LoadWorld(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon0, _ := lw.Sizes()
+	// Warm a pipeline first so ingestion exercises the incremental sync
+	// against the restored scorer caches.
+	if _, err := lw.QueryUser(0, 3, opt); err != nil {
+		t.Fatal(err)
+	}
+	id, err := lw.IngestUser("post-restart-account", []IngestPost{
+		{Thread: 0, Text: "the new medication helps but the side effects are rough"},
+		{Thread: NewThread, Text: "switched clinics, anyone have experience with the downtown one?"},
+	})
+	if err != nil {
+		t.Fatalf("ingest into a restored world: %v", err)
+	}
+	if id != anon0 {
+		t.Fatalf("ingested id %d, want %d", id, anon0)
+	}
+	cands, err := lw.QueryUser(id, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 5 {
+		t.Fatalf("ingested user got %d candidates, want 5", len(cands))
+	}
+}
+
+// TestSnapshotAfterIngestDrain is the serving-path satellite: a world
+// grown through the live HTTP ingest path, drained, then snapshotted must
+// restore with the ingested accounts included and answering identically.
+func TestSnapshotAfterIngestDrain(t *testing.T) {
+	pw, opt := snapWorld(t, 16, 4000, 1, false)
+	dir := t.TempDir()
+	endpointPath := filepath.Join(dir, "endpoint.snap")
+	shutdownPath := filepath.Join(dir, "shutdown.snap")
+
+	srv := NewServer(pw, ServeOptions{
+		Workers: 2, Batch: 4, FlushInterval: time.Millisecond,
+		K: 5, Attack: opt, SnapshotPath: endpointPath,
+	})
+	ts := httptest.NewServer(srv.Handler())
+
+	body := `{"name":"live-ingested","posts":[{"text":"new symptoms since last week"},{"thread":0,"text":"thanks, that thread helped"}]}`
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Admin endpoint: snapshot the live (already grown) world.
+	resp, err = http.Post(ts.URL+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || info.Path != endpointPath || info.Bytes <= 0 {
+		t.Fatalf("snapshot endpoint: status %d, info %+v", resp.StatusCode, info)
+	}
+
+	// Drain, then write the shutdown snapshot exactly as dehealthd does.
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := pw.Snapshot(shutdownPath); err != nil {
+		t.Fatal(err)
+	}
+
+	want, wantBatch := worldAnswers(t, pw, 5, opt)
+	for _, path := range []string{endpointPath, shutdownPath} {
+		lw, err := LoadWorld(path, LoadOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		la, _ := lw.Sizes()
+		wa, _ := pw.Sizes()
+		if la != wa {
+			t.Fatalf("%s: restored %d anon users, want %d (ingested account lost)", path, la, wa)
+		}
+		got, gotBatch := worldAnswers(t, lw, 5, lw.PreparedOptions())
+		sameCandidates(t, path+" QueryUser", want, got)
+		sameCandidates(t, path+" QueryBatch", wantBatch, gotBatch)
+	}
+}
+
+// TestSnapshotEndpointUnconfigured pins the admin endpoint's disabled
+// state: without a snapshot path the request fails cleanly.
+func TestSnapshotEndpointUnconfigured(t *testing.T) {
+	pw, opt := snapWorld(t, 12, 5000, 1, false)
+	srv := NewServer(pw, ServeOptions{Attack: opt})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want %d", resp.StatusCode, http.StatusNotImplemented)
+	}
+}
+
+// TestLoadWorldFailurePaths drives the public loader through every typed
+// rejection: wrong file, future version, truncation, corruption. None may
+// return a world.
+func TestLoadWorldFailurePaths(t *testing.T) {
+	pw, _ := snapWorld(t, 12, 6000, 1, true)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "world.snap")
+	if err := pw.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, wantErr error, mutate func([]byte) []byte) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mutate(append([]byte{}, blob...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, noMmap := range []bool{false, true} {
+			w, err := LoadWorld(p, LoadOptions{NoMmap: noMmap})
+			if !errors.Is(err, wantErr) {
+				t.Fatalf("%s (noMmap=%v): error %v, want %v", name, noMmap, err, wantErr)
+			}
+			if w != nil {
+				t.Fatalf("%s: got a partially loaded world alongside the error", name)
+			}
+		}
+	}
+
+	check("not-a-snapshot", ErrNotSnapshot, func(b []byte) []byte {
+		b[0] = 'X'
+		return b
+	})
+	check("future-version", ErrSnapshotVersion, func(b []byte) []byte {
+		binary.LittleEndian.PutUint16(b[6:], 0x7fff)
+		return b
+	})
+	check("truncated", ErrSnapshotTruncated, func(b []byte) []byte {
+		return b[:len(b)/2]
+	})
+	check("flipped-crc-byte", ErrSnapshotCorrupt, func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[32:]) // first table entry's section offset
+		b[off] ^= 0xff
+		return b
+	})
+}
