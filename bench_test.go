@@ -577,6 +577,189 @@ func BenchmarkQueryUserPruned(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryUserApprox measures the approximate retrieval tier
+// (max-score/WAND cursors + exact rescore) against the exact full scan on
+// the two regimes of BenchmarkQueryUserPruned: the sparse-overlap world
+// where exact pruning already wins, and the dense single-community world
+// where exact pruning floors at a full rescore — the regime the tier
+// exists for. Theta is swept on the dense world and recall@10 against the
+// exact top-10 is computed off the timer for every mode, so the artifact
+// reports speedup and recall side by side; the degenerate configuration
+// (Theta 1, unbounded budget) is asserted bit-identical to the exact scan
+// before any timing, so BENCH_recall.json can never claim an exactness it
+// does not have.
+func BenchmarkQueryUserApprox(b *testing.B) {
+	const (
+		anonUsers = 150
+		sparseAux = 4000
+		community = 40
+		attrDim   = 512
+		denseAux  = 2000
+		k         = 10
+	)
+	cfg := similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 5}
+
+	type world struct {
+		full   *shard.World
+		approx *shard.World
+		stats  *index.ApproxStats
+	}
+	mk := func(auxN, comm int, seed int64) world {
+		g1 := synth.SparseAttrUDA(anonUsers, comm, attrDim, seed)
+		g2 := synth.SparseAttrUDA(auxN, comm, attrDim, seed+1)
+		base := similarity.NewScorer(g1, g2, cfg)
+		st := &index.ApproxStats{}
+		return world{
+			full:   shard.New(base, g2, nil, 1),
+			approx: shard.New(base, g2, nil, 1).WithApprox(index.Config{}, st),
+			stats:  st,
+		}
+	}
+	sparse := mk(sparseAux, community, 1201)
+	dense := mk(denseAux, denseAux, 1203)
+
+	// Degenerate-knob bit-identity, off the timer, on both worlds: the
+	// conservative tier must be indistinguishable from the exact engine.
+	for _, w := range []struct {
+		name string
+		world
+	}{{"sparse", sparse}, {"dense", dense}} {
+		for u := 0; u < anonUsers; u += 17 {
+			got := w.approx.QueryUserApprox(u, k, index.ApproxParams{})
+			want := w.full.QueryUser(u, k)
+			if len(got) != len(want) {
+				b.Fatalf("%s user %d: approx %d candidates, full %d", w.name, u, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					b.Fatalf("%s user %d candidate %d: approx %+v, full %+v — degenerate exactness broken",
+						w.name, u, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// recallAt10 computes mean recall@10 against the exact top-10 over
+	// every anonymized user, off the timer.
+	recallAt10 := func(w world, ap index.ApproxParams) float64 {
+		hits, want := 0, 0
+		for u := 0; u < anonUsers; u++ {
+			exact := w.full.QueryUser(u, k)
+			got := w.approx.QueryUserApprox(u, k, ap)
+			in := map[int]bool{}
+			for _, c := range got {
+				in[c.User] = true
+			}
+			for _, c := range exact {
+				want++
+				if in[c.User] {
+					hits++
+				}
+			}
+		}
+		return float64(hits) / float64(want)
+	}
+
+	qps := map[string]float64{}
+	recalls := map[string]float64{}
+	runMode := func(name string, fn func(i int)) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				fn(i)
+			}
+			rate := float64(b.N) / time.Since(start).Seconds()
+			b.ReportMetric(rate, "qps")
+			if prev, ok := qps[name]; !ok || rate > prev {
+				qps[name] = rate
+			}
+		})
+	}
+
+	recalls["sparse-approx-exact"] = recallAt10(sparse, index.ApproxParams{})
+	runMode("sparse-full-scan", func(i int) { sparse.full.QueryUser(i%anonUsers, k) })
+	runMode("sparse-approx-exact", func(i int) { sparse.approx.QueryUserApprox(i%anonUsers, k, index.ApproxParams{}) })
+
+	thetas := []float64{1.0, 1.2, 1.3, 1.4, 1.5, 2.0}
+	runMode("dense-full-scan", func(i int) { dense.full.QueryUser(i%anonUsers, k) })
+	for _, theta := range thetas {
+		ap := index.ApproxParams{Theta: theta}
+		name := fmt.Sprintf("dense-approx-theta-%.1f", theta)
+		recalls[name] = recallAt10(dense, ap)
+		runMode(name, func(i int) { dense.approx.QueryUserApprox(i%anonUsers, k, ap) })
+	}
+
+	speedup := func(num, den string) float64 {
+		if qps[den] > 0 {
+			return qps[num] / qps[den]
+		}
+		return 0
+	}
+	// The headline number: the fastest dense mode that still clears
+	// recall@10 >= 0.95, against the exact dense full scan.
+	bestDense := ""
+	for _, theta := range thetas {
+		name := fmt.Sprintf("dense-approx-theta-%.1f", theta)
+		if recalls[name] >= 0.95 && (bestDense == "" || qps[name] > qps[bestDense]) {
+			bestDense = name
+		}
+	}
+	denseSpeedup := 0.0
+	if bestDense != "" {
+		denseSpeedup = speedup(bestDense, "dense-full-scan")
+	}
+
+	thetaRows := make([]map[string]any, 0, len(thetas))
+	for _, theta := range thetas {
+		name := fmt.Sprintf("dense-approx-theta-%.1f", theta)
+		thetaRows = append(thetaRows, map[string]any{
+			"theta":     theta,
+			"qps":       qps[name],
+			"recall_10": recalls[name],
+			"speedup":   speedup(name, "dense-full-scan"),
+		})
+	}
+	summary := map[string]any{
+		"benchmark":      "approx-recall",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"single_core":    runtime.GOMAXPROCS(0) == 1,
+		"interpretation": "the WAND walk is a work-reduction win (threshold-certified posting skipping + bounded rescore), not parallelism, so speedups hold on single-core runners; theta 1.0 is provably exact (asserted bit-identical inline), theta > 1 trades recall for skipped postings — the dense sweep shows the trade explicitly",
+		"sparse": map[string]any{
+			"world":     map[string]int{"anon_users": anonUsers, "aux_users": sparseAux, "attr_dim": attrDim, "community": community},
+			"qps":       map[string]float64{"full-scan": qps["sparse-full-scan"], "approx-exact": qps["sparse-approx-exact"]},
+			"recall_10": recalls["sparse-approx-exact"],
+			"speedup":   speedup("sparse-approx-exact", "sparse-full-scan"),
+		},
+		"dense": map[string]any{
+			"world":       map[string]int{"anon_users": anonUsers, "aux_users": denseAux, "attr_dim": attrDim, "community": denseAux},
+			"full_qps":    qps["dense-full-scan"],
+			"theta_sweep": thetaRows,
+			"best_at_recall_0.95": map[string]any{
+				"mode": bestDense, "speedup": denseSpeedup,
+			},
+		},
+		"approx_counters": map[string]int64{
+			"sparse_postings_skipped": sparse.stats.Snapshot().PostingsSkipped,
+			"dense_postings_skipped":  dense.stats.Snapshot().PostingsSkipped,
+			"sparse_rescored":         sparse.stats.Snapshot().Rescored,
+			"dense_rescored":          dense.stats.Snapshot().Rescored,
+		},
+		"baseline": "full-scan is the per-shard bounded-heap scan over every aux user; approx generates candidates with max-score/WAND posting cursors and exact-rescores survivors — degenerate knobs asserted bit-identical inline, aggressive knobs measured against exact recall@10",
+	}
+	if buf, err := json.MarshalIndent(summary, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_recall.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_recall.json: %v", err)
+		}
+	}
+	if bestDense == "" {
+		b.Log("warning: no dense theta cleared recall@10 >= 0.95")
+	} else if denseSpeedup < 2 {
+		b.Logf("warning: dense approx speedup %.2fx at recall >= 0.95 below the 2x target (noise or regression)", denseSpeedup)
+	}
+}
+
 // benchSink keeps benchmark loops from being dead-code eliminated.
 var benchSink float64
 

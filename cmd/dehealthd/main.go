@@ -17,13 +17,14 @@
 //	dehealthd -aux aux.json -anon anon.json          # preload known anonymized accounts
 //	dehealthd -synth 300                             # demo mode: synthetic auxiliary world
 //	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2 -shards 8 -prune
+//	dehealthd -synth 300 -approx -approx-theta 0.6     # approximate tier, per-query opt-in
 //	dehealthd -synth 300 -snapshot world.snap        # warm restart: load if present, write on shutdown
 //	dehealthd -snapshot world.snap -no-mmap          # warm restart with the copying loader
 //	dehealthd -synth 300 -pprof localhost:6060        # profiling listener
 //
 // API:
 //
-//	POST /v1/query    {"user": 17, "k": 10}
+//	POST /v1/query    {"user": 17, "k": 10}                  # optional "approx": true with -approx
 //	POST /v1/ingest   {"name": "jdoe", "posts": [{"text": "..."}, {"thread": 3, "text": "..."}]}
 //	POST /v1/snapshot                                 # write the world to -snapshot now
 //	GET  /v1/stats
@@ -48,22 +49,25 @@ func msToDuration(ms int) time.Duration { return time.Duration(ms) * time.Millis
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8700", "HTTP listen address")
-		auxPath  = flag.String("aux", "", "auxiliary dataset JSON (the adversary's world; required unless -synth or a -snapshot file exists)")
-		anon     = flag.String("anon", "", "optional anonymized dataset JSON to preload; default starts empty")
-		synth    = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
-		workers  = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
-		shards   = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
-		prune    = flag.Bool("prune", false, "candidate-pruned queries via per-shard attribute inverted indexes (results identical; see /v1/stats prune counters)")
-		batch    = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
-		flushMS  = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")
-		k        = flag.Int("k", 10, "default Top-K candidate set size")
-		hbar     = flag.Int("landmarks", 50, "landmark count for the structural similarity")
-		bigrams  = flag.Int("max-bigrams", 300, "POS-bigram feature cap (fitted on the auxiliary texts)")
-		seed     = flag.Int64("seed", 1, "seed for -synth demo worlds")
-		pprofA   = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); off by default")
-		snapPath = flag.String("snapshot", "", "world snapshot path: loaded on start when the file exists (warm restart), written on graceful shutdown and POST /v1/snapshot")
-		noMmap   = flag.Bool("no-mmap", false, "load -snapshot with the copying decoder instead of memory-mapping the file")
+		addr         = flag.String("addr", ":8700", "HTTP listen address")
+		auxPath      = flag.String("aux", "", "auxiliary dataset JSON (the adversary's world; required unless -synth or a -snapshot file exists)")
+		anon         = flag.String("anon", "", "optional anonymized dataset JSON to preload; default starts empty")
+		synth        = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
+		workers      = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
+		shards       = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
+		prune        = flag.Bool("prune", false, "candidate-pruned queries via per-shard attribute inverted indexes (results identical; see /v1/stats prune counters)")
+		approx       = flag.Bool("approx", false, "enable the approximate retrieval tier: max-score/WAND posting cursors with exact rescore (per-query opt-in via the \"approx\" knob; see /v1/stats approx counters)")
+		approxTheta  = flag.Float64("approx-theta", 0, "approx threshold scale in (0, 1]; 0 or 1 keeps the tier exact-equivalent, smaller values skip more aggressively")
+		approxBudget = flag.Int("approx-budget", 0, "approx cap on exact rescores per shard-query (0 = unbounded)")
+		batch        = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
+		flushMS      = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")
+		k            = flag.Int("k", 10, "default Top-K candidate set size")
+		hbar         = flag.Int("landmarks", 50, "landmark count for the structural similarity")
+		bigrams      = flag.Int("max-bigrams", 300, "POS-bigram feature cap (fitted on the auxiliary texts)")
+		seed         = flag.Int64("seed", 1, "seed for -synth demo worlds")
+		pprofA       = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); off by default")
+		snapPath     = flag.String("snapshot", "", "world snapshot path: loaded on start when the file exists (warm restart), written on graceful shutdown and POST /v1/snapshot")
+		noMmap       = flag.Bool("no-mmap", false, "load -snapshot with the copying decoder instead of memory-mapping the file")
 	)
 	flag.Parse()
 
@@ -86,8 +90,18 @@ func main() {
 		opt = pw.PreparedOptions()
 		opt.Workers = *workers
 		opt.K = *k
+		// The approx tier's per-query knobs are attack-phase state. Note
+		// -approx only takes effect when the snapshot carried the tier
+		// (or on cold boot); a tier-less world answers approx requests
+		// exactly.
+		if *approx {
+			opt.Approx.Enabled = true
+		}
+		opt.Approx.Theta = *approxTheta
+		opt.Approx.Budget = *approxBudget
 	} else {
-		pw, opt = coldBoot(*auxPath, *anon, *synth, *seed, *hbar, *bigrams, *workers, *shards, *prune, *k)
+		pw, opt = coldBoot(*auxPath, *anon, *synth, *seed, *hbar, *bigrams, *workers, *shards, *prune, *k,
+			dehealth.ApproxConfig{Enabled: *approx, Theta: *approxTheta, Budget: *approxBudget})
 	}
 
 	srv := dehealth.NewServer(pw, dehealth.ServeOptions{
@@ -152,7 +166,7 @@ func warmBoot(path string, noMmap bool) *dehealth.PreparedWorld {
 
 // coldBoot prepares the world from datasets (or a synthetic demo world)
 // exactly as pre-snapshot dehealthd always did.
-func coldBoot(auxPath, anonPath string, synth int, seed int64, hbar, bigrams, workers, shards int, prune bool, k int) (*dehealth.PreparedWorld, dehealth.Options) {
+func coldBoot(auxPath, anonPath string, synth int, seed int64, hbar, bigrams, workers, shards int, prune bool, k int, approx dehealth.ApproxConfig) (*dehealth.PreparedWorld, dehealth.Options) {
 	var aux *dehealth.Dataset
 	switch {
 	case auxPath != "":
@@ -186,10 +200,14 @@ func coldBoot(auxPath, anonPath string, synth int, seed int64, hbar, bigrams, wo
 		opt.Shards = runtime.NumCPU()
 	}
 	opt.Prune = prune
+	opt.Approx = approx
 
 	pruneNote := ""
 	if opt.Prune {
 		pruneNote = ", pruned"
+	}
+	if opt.Approx.Enabled {
+		pruneNote += ", approx"
 	}
 	log.Printf("dehealthd: preparing world (aux %d users / %d posts, anon %d users, %d shards%s)...",
 		aux.NumUsers(), aux.NumPosts(), anonDS.NumUsers(), opt.Shards, pruneNote)

@@ -197,8 +197,39 @@ type Options struct {
 	// always bit-identical to Prune=false. Consulted by PrepareWorld, not
 	// per call; see PreparedWorld.PruneStats for the observed effect.
 	Prune bool
+	// Approx configures the approximate retrieval tier. Approx.Enabled is
+	// consulted by PrepareWorld (the tier shares the pruning indexes, or
+	// builds its own); the Theta/Budget knobs are per query call. See
+	// ApproxConfig and PreparedWorld.ApproxStats.
+	Approx ApproxConfig
 	// Seed drives all randomized components.
 	Seed int64
+}
+
+// ApproxConfig tunes the opt-in approximate retrieval tier: QueryUser and
+// QueryBatch generate candidates with max-score/WAND posting cursors over
+// the attribute inverted index — skipping whole posting ranges whose
+// score upper bounds cannot beat the running K-th score — and
+// exact-rescore every survivor with the unchanged scoring kernel, so
+// scores are always exact and only candidate generation is approximate.
+// The degenerate knobs (Theta <= 1, Budget <= 0) make every skip provably
+// safe: results are then bit-identical to the exact path, just cheaper on
+// dense-attribute worlds. This tier is explicitly outside the
+// bit-identical parity contract (docs/ARCHITECTURE.md) once Theta > 1 or
+// a budget binds; BENCH_recall.json tracks its measured recall@K.
+type ApproxConfig struct {
+	// Enabled turns the tier on for this world's queries. Consulted by
+	// PrepareWorld like Prune; a world prepared without it answers
+	// approximate requests through the exact path.
+	Enabled bool
+	// Budget caps how many candidates each shard query may exact-rescore;
+	// <= 0 is unbounded. An exhausted budget returns the best candidates
+	// found so far.
+	Budget int
+	// Theta scales the skip threshold: candidate ranges whose score upper
+	// bound falls below Theta times the running K-th score are skipped.
+	// <= 0 resolves to 1.0 (exact); values above 1 trade recall for speed.
+	Theta float64
 }
 
 // DefaultOptions returns the paper's default attack configuration.
@@ -308,6 +339,9 @@ type PreparedWorld struct {
 	// pruneStats, when non-nil, enables candidate pruning on every derived
 	// pipeline; all of them accumulate into this one shared counter block.
 	pruneStats *index.Stats
+	// approxStats, when non-nil, enables the approximate retrieval tier on
+	// every derived pipeline, all sharing this one counter block.
+	approxStats *index.ApproxStats
 
 	// world serializes growth of the anonymized side (Ingest) against
 	// everything that reads the stores (queries, attacks).
@@ -338,6 +372,9 @@ func PrepareWorld(anon, aux *Dataset, opt Options) *PreparedWorld {
 	if opt.Prune {
 		w.pruneStats = &index.Stats{}
 	}
+	if opt.Approx.Enabled {
+		w.approxStats = &index.ApproxStats{}
+	}
 	return w
 }
 
@@ -363,6 +400,11 @@ func (w *PreparedWorld) pipeline(cfg similarity.Config) *core.Pipeline {
 		// WithSimilarity-derived pipelines inherit pruning (and the block)
 		// from their parent above.
 		p = p.Pruned(index.Config{}, w.pruneStats)
+	}
+	if w.approxStats != nil {
+		// Same index configuration as pruning, so a world with both reuses
+		// one set of shard indexes; derived pipelines inherit the tier.
+		p = p.Approx(index.Config{}, w.approxStats)
 	}
 	w.pipelines[cfg] = p
 	return p
@@ -528,11 +570,66 @@ func (w *PreparedWorld) PruneStats() PruneStats {
 	}
 }
 
+// approxParams maps the options' per-call approximate knobs into the
+// index layer's parameter struct.
+func (o Options) approxParams() index.ApproxParams {
+	return index.ApproxParams{Theta: o.Approx.Theta, Budget: o.Approx.Budget}
+}
+
+// ApproxStats reports the cumulative counters of the approximate
+// retrieval tier (Options.Approx.Enabled) across every approximate query
+// served by this world. Counters are per shard-query, like PruneStats.
+// Scores returned by the tier are always exact; the counters describe how
+// much candidate generation the posting cursors skipped.
+type ApproxStats struct {
+	// Enabled reports whether the world was prepared with the tier on.
+	Enabled bool
+	// Queries counts approximate-path shard queries.
+	Queries int64
+	// Fallbacks counts shard queries answered by the exact full scan (no
+	// index, or a similarity configuration with negative weights).
+	Fallbacks int64
+	// CursorsOpened sums posting cursors opened (query attributes with
+	// non-empty posting lists).
+	CursorsOpened int64
+	// PostingsSkipped sums posting entries the pivot walk passed over
+	// without rescoring.
+	PostingsSkipped int64
+	// Rescored sums the surviving candidates exact-rescored by the flat
+	// kernel.
+	Rescored int64
+	// BudgetExhausted counts shard queries stopped early by
+	// ApproxConfig.Budget.
+	BudgetExhausted int64
+}
+
+// ApproxStats snapshots the world's approximate-tier counters; the zero
+// value (with Enabled false) when the world was prepared without
+// Options.Approx.Enabled.
+func (w *PreparedWorld) ApproxStats() ApproxStats {
+	if w.approxStats == nil {
+		return ApproxStats{}
+	}
+	s := w.approxStats.Snapshot()
+	return ApproxStats{
+		Enabled:         true,
+		Queries:         s.Queries,
+		Fallbacks:       s.Fallbacks,
+		CursorsOpened:   s.CursorsOpened,
+		PostingsSkipped: s.PostingsSkipped,
+		Rescored:        s.Rescored,
+		BudgetExhausted: s.BudgetExhausted,
+	}
+}
+
 // QueryUser returns anonymized user u's top-k auxiliary candidates in
 // decreasing similarity order under opt's similarity configuration —
 // the single-row serving path: O(|aux|·dim) time, O(k) memory, no
 // similarity-matrix allocation, and results identical to the Top-K phase of
-// a full Attack. k <= 0 uses opt.K (default 10). Safe for concurrent use.
+// a full Attack. k <= 0 uses opt.K (default 10). With opt.Approx.Enabled
+// the query runs through the approximate retrieval tier under the
+// Theta/Budget knobs (exact at the conservative defaults; see
+// ApproxConfig). Safe for concurrent use.
 func (w *PreparedWorld) QueryUser(u, k int, opt Options) ([]Candidate, error) {
 	opt = opt.normalized()
 	if k <= 0 {
@@ -543,6 +640,9 @@ func (w *PreparedWorld) QueryUser(u, k int, opt Options) ([]Candidate, error) {
 	p := w.pipeline(opt.simConfig())
 	if u < 0 || u >= p.G1.NumNodes() {
 		return nil, fmt.Errorf("dehealth: user %d out of range [0, %d)", u, p.G1.NumNodes())
+	}
+	if opt.Approx.Enabled {
+		return p.QueryUserApprox(u, k, opt.approxParams()), nil
 	}
 	return p.QueryUser(u, k), nil
 }
@@ -561,6 +661,9 @@ func (w *PreparedWorld) QueryBatch(users []int, k int, opt Options) ([][]Candida
 		if u < 0 || u >= p.G1.NumNodes() {
 			return nil, fmt.Errorf("dehealth: user %d out of range [0, %d)", u, p.G1.NumNodes())
 		}
+	}
+	if opt.Approx.Enabled {
+		return p.QueryBatchApprox(users, k, opt.Workers, opt.approxParams()), nil
 	}
 	return p.QueryBatch(users, k, opt.Workers), nil
 }
@@ -720,6 +823,36 @@ func (b serveBackend) PruneCounters() (serve.PruneCounters, bool) {
 		BandsSkipped: s.BandsSkipped,
 	}, s.Enabled
 }
+func (b serveBackend) ApproxCounters() (serve.ApproxCounters, bool) {
+	s := b.w.ApproxStats()
+	return serve.ApproxCounters{
+		Queries:         s.Queries,
+		Fallbacks:       s.Fallbacks,
+		CursorsOpened:   s.CursorsOpened,
+		PostingsSkipped: s.PostingsSkipped,
+		Rescored:        s.Rescored,
+		BudgetExhausted: s.BudgetExhausted,
+	}, s.Enabled
+}
+
+// QueryUserApprox answers a per-request approximate query: the attack
+// options run with the tier forced on (the prepared world must have it
+// enabled; otherwise the query degrades to the exact path).
+func (b serveBackend) QueryUserApprox(u, k int) ([]Candidate, error) {
+	opt := b.opt
+	opt.Approx.Enabled = true
+	return b.w.QueryUser(u, k, opt)
+}
+
+// QueryBatchApprox is QueryUserApprox for a flush's same-k approximate
+// group, under the serve-level worker bound.
+func (b serveBackend) QueryBatchApprox(users []int, k int) ([][]Candidate, error) {
+	opt := b.opt
+	opt.Approx.Enabled = true
+	opt.Workers = b.workers
+	return b.w.QueryBatch(users, k, opt)
+}
+
 func (b serveBackend) ShardSizes() []serve.ShardCount {
 	sizes := b.w.ShardSizes()
 	out := make([]serve.ShardCount, len(sizes))
@@ -753,7 +886,15 @@ func NewServer(pw *PreparedWorld, opt ServeOptions) *Server {
 			return info, nil
 		}
 	}
-	return serve.New(serveBackend{w: pw, opt: opt.Attack, workers: opt.Workers}, cfg)
+	// The plain wire endpoints are always exact: serving a world prepared
+	// with Options.Approx only *builds* the tier, and the "approx" request
+	// knob is the per-query opt-in (it routes to the *Approx backend
+	// methods, which re-enable the flag). Without this reset a server
+	// started with an aggressive Theta would silently answer plain queries
+	// approximately.
+	backendOpt := opt.Attack
+	backendOpt.Approx.Enabled = false
+	return serve.New(serveBackend{w: pw, opt: backendOpt, workers: opt.Workers}, cfg)
 }
 
 // Serve runs the dehealthd query service over a prepared world on

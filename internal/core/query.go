@@ -16,6 +16,8 @@ package core
 
 import (
 	"fmt"
+
+	"dehealth/internal/index"
 )
 
 // QueryUser computes anonymized user u's top-k auxiliary candidates in
@@ -48,6 +50,39 @@ func (p *Pipeline) QueryBatch(users []int, k, workers int) [][]Candidate {
 		panic(fmt.Sprintf("core: K must be >= 1, got %d", k))
 	}
 	return p.shardWorld().QueryBatch(users, k, workers)
+}
+
+// QueryUserApprox is QueryUser through the approximate retrieval tier
+// (see Approx) under the per-call knobs ap: Theta scales the skip
+// threshold and Budget caps the exact rescores per shard. With the
+// conservative knobs (Theta <= 1, unbounded budget) the result is
+// bit-identical to QueryUser; otherwise only candidate generation is
+// approximate — every returned score is exact. On a pipeline without the
+// tier it degrades to the exact path.
+func (p *Pipeline) QueryUserApprox(u, k int, ap index.ApproxParams) []Candidate {
+	if n1 := p.G1.NumNodes(); u < 0 || u >= n1 {
+		panic(fmt.Sprintf("core: QueryUserApprox user %d out of range [0, %d)", u, n1))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: K must be >= 1, got %d", k))
+	}
+	return p.shardWorld().QueryUserApprox(u, k, ap)
+}
+
+// QueryBatchApprox answers one QueryUserApprox per entry of users over a
+// bounded worker pool (workers <= 0 uses GOMAXPROCS). Results line up
+// with users by index.
+func (p *Pipeline) QueryBatchApprox(users []int, k, workers int, ap index.ApproxParams) [][]Candidate {
+	n1 := p.G1.NumNodes()
+	for _, u := range users {
+		if u < 0 || u >= n1 {
+			panic(fmt.Sprintf("core: QueryBatchApprox user %d out of range [0, %d)", u, n1))
+		}
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: K must be >= 1, got %d", k))
+	}
+	return p.shardWorld().QueryBatchApprox(users, k, workers, ap)
 }
 
 // SyncAppended extends the pipeline's similarity caches over anonymized

@@ -1,0 +1,267 @@
+// Max-score/WAND document-at-a-time traversal over the attribute posting
+// lists — the candidate-generation half of the approximate retrieval tier
+// (shard.TopKApprox). Each query attribute opens a cursor over its posting
+// list carrying an admissible upper bound on the attribute's score
+// contribution (similarity.AttrScoreBounds); a shared base bound covers
+// the structural terms every auxiliary user can contribute regardless of
+// attribute overlap. The pivot walk enumerates candidate ids in strictly
+// ascending order and skips whole posting ranges whose summed bounds
+// cannot beat the caller's running threshold: a document can only be
+// skipped when every cursor positioned at or before it belongs to a
+// bound-sum prefix that fails the threshold, so under an exact threshold
+// (theta = the K-th score) the skip is provably safe and the walk
+// degenerates to the exact engine. Survivors are exact-rescored by the
+// caller with the unchanged flat kernel — only generation is approximate.
+package index
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// ApproxParams are the per-call knobs of the approximate query tier.
+// The zero value resolves to the conservative configuration (Theta 1,
+// unbounded budget), which — combined with admissible bounds — returns
+// results bit-identical to the exact path.
+type ApproxParams struct {
+	// Theta scales the skip threshold: posting ranges and bands whose
+	// score upper bound falls below Theta times the running K-th score are
+	// skipped. <= 0 resolves to 1.0 (exact); values above 1 skip more
+	// aggressively and trade recall for speed.
+	Theta float64
+	// Budget caps how many candidates a shard query may exact-rescore;
+	// <= 0 is unbounded. An exhausted budget stops the query immediately
+	// and returns the best candidates found so far.
+	Budget int
+}
+
+// WithDefaults resolves zero fields to the conservative configuration.
+func (p ApproxParams) WithDefaults() ApproxParams {
+	if p.Theta <= 0 {
+		p.Theta = 1.0
+	}
+	if p.Budget < 0 {
+		p.Budget = 0
+	}
+	return p
+}
+
+// ApproxStats are the cumulative counters of the approximate query tier
+// (one struct per shard world, shared across derived pipelines exactly
+// like Stats). All fields are monotone counts updated atomically.
+type ApproxStats struct {
+	// Queries counts per-shard approximate-path invocations.
+	Queries int64
+	// Fallbacks counts invocations that bailed to the exact full scan
+	// (no index, or a non-prune-safe similarity configuration).
+	Fallbacks int64
+	// CursorsOpened sums posting cursors opened (one per query attribute
+	// with a non-empty posting list).
+	CursorsOpened int64
+	// PostingsSkipped sums posting entries the pivot walk passed over
+	// without rescoring — the tier's direct read on sublinearity.
+	PostingsSkipped int64
+	// Rescored sums the survivors exact-rescored by the flat kernel.
+	Rescored int64
+	// BudgetExhausted counts shard queries stopped early by
+	// ApproxParams.Budget.
+	BudgetExhausted int64
+}
+
+// Snapshot returns an atomically read copy of the counters, safe to take
+// while queries are updating them.
+func (s *ApproxStats) Snapshot() ApproxStats {
+	return ApproxStats{
+		Queries:         atomic.LoadInt64(&s.Queries),
+		Fallbacks:       atomic.LoadInt64(&s.Fallbacks),
+		CursorsOpened:   atomic.LoadInt64(&s.CursorsOpened),
+		PostingsSkipped: atomic.LoadInt64(&s.PostingsSkipped),
+		Rescored:        atomic.LoadInt64(&s.Rescored),
+		BudgetExhausted: atomic.LoadInt64(&s.BudgetExhausted),
+	}
+}
+
+// exhaustedDoc is the current-doc sentinel of a drained cursor. Posting
+// ids are shard-local user indices, always < MaxInt32, so the sentinel
+// sorts every exhausted cursor past every live one and the walk trims
+// them off the tail instead of compacting the slice each iteration.
+const exhaustedDoc = math.MaxInt32
+
+// Cursors is the document-at-a-time pivot walk over a set of posting
+// cursors. base is an upper bound on the score any document can reach
+// through non-attribute (structural) terms alone; it seeds every bound
+// sum, so the walk never skips a document the structural terms could
+// carry past the threshold on their own. Owned by one goroutine.
+//
+// The per-cursor state is struct-of-arrays: posting slices, positions,
+// and bounds live in parallel arrays indexed by cursor id, while the
+// walk order is a separate slice of (currentDoc<<32)|id keys. The inner
+// loops — the near-sorted insertion sort, the pivot scan, the laggard
+// seeks — then compare and swap plain int64s in registers, with no
+// pointer-carrying struct copies (and so no GC write barriers) on the
+// hot path.
+type Cursors struct {
+	posts   [][]int32 // posting list per cursor id (shared, never written)
+	pos     []int32   // current position per cursor id
+	ubs     []float64 // admissible score upper bound per cursor id
+	ord     []int64   // walk order: (doc << 32) | id, ascending
+	base    float64
+	last    int32 // last returned doc; cursors positioned on it advance next call
+	skipped int64
+}
+
+// key packs a cursor's current document and id into its walk-order
+// entry; int64 ordering is then (doc, id) ordering because both halves
+// are non-negative.
+func key(doc int32, id int) int64 { return int64(doc)<<32 | int64(id) }
+
+// NewCursors returns an empty cursor set with the given structural base
+// bound.
+func NewCursors(base float64) *Cursors {
+	return &Cursors{base: base, last: -1}
+}
+
+// Add opens a cursor over post (ascending document ids, shared — never
+// written) with score upper bound ub. Empty lists are dropped.
+func (c *Cursors) Add(post []int32, ub float64) {
+	if len(post) == 0 {
+		return
+	}
+	id := len(c.posts)
+	c.posts = append(c.posts, post)
+	c.pos = append(c.pos, 0)
+	c.ubs = append(c.ubs, ub)
+	// Keep ord sorted as cursors are added: Next's incremental reordering
+	// only re-inserts entries it moved, so it relies on the slice being
+	// sorted from the very first call.
+	c.ord = append(c.ord, key(post[0], id))
+	for j := len(c.ord) - 1; j > 0 && c.ord[j] < c.ord[j-1]; j-- {
+		c.ord[j], c.ord[j-1] = c.ord[j-1], c.ord[j]
+	}
+}
+
+// Len returns the number of live cursors.
+func (c *Cursors) Len() int { return len(c.ord) }
+
+// Skipped returns the cumulative posting entries passed over without
+// being returned — documents whose bound-sum prefix failed the threshold.
+func (c *Cursors) Skipped() int64 { return c.skipped }
+
+// Next returns the next candidate document whose summed score upper
+// bound exceeds theta, in strictly ascending document order, or ok=false
+// when the walk is exhausted. theta may change between calls (it is the
+// caller's running K-th score threshold); a larger theta can only shrink
+// the surviving set. Each returned document's bound sum — base plus the
+// bounds of every cursor positioned on it — is strictly greater than
+// theta, and every document passed over had a bound sum at most theta:
+// cursors are kept sorted by current document, the pivot is the first
+// prefix whose bound sum exceeds theta, and any passed-over document
+// lives only in cursors strictly before the pivot, whose prefix sum
+// failed. Skipping is by galloping seek, so runs of hopeless postings
+// cost O(log run) instead of O(run).
+func (c *Cursors) Next(theta float64) (int32, bool) {
+	ord := c.ord
+	// Step every cursor off the previously returned document, so the walk
+	// makes progress and never returns an id twice. The slice is sorted,
+	// so those cursors are exactly the prefix whose doc equals last (which
+	// is -1 before the first call, matching nothing).
+	dirty := 0
+	for dirty < len(ord) && int32(ord[dirty]>>32) == c.last {
+		id := int(int32(ord[dirty]))
+		np := int(c.pos[id]) + 1
+		c.pos[id] = int32(np)
+		if np < len(c.posts[id]) {
+			ord[dirty] = key(c.posts[id][np], id)
+		} else {
+			ord[dirty] = key(exhaustedDoc, id)
+		}
+		dirty++
+	}
+	for {
+		// Restore ascending order. Only the first dirty entries moved (their
+		// keys grew), so each is re-inserted rightward into the still-sorted
+		// remainder instead of re-sorting the whole slice.
+		for i := dirty - 1; i >= 0; i-- {
+			v := ord[i]
+			j := i
+			for j+1 < len(ord) && ord[j+1] < v {
+				ord[j] = ord[j+1]
+				j++
+			}
+			ord[j] = v
+		}
+		// Trim exhausted cursors — the sentinel sorted them onto the tail.
+		for len(ord) > 0 && int32(ord[len(ord)-1]>>32) == exhaustedDoc {
+			ord = ord[:len(ord)-1]
+		}
+		c.ord = ord
+		if len(ord) == 0 {
+			return 0, false
+		}
+		// Pivot selection: accumulate bounds in doc order until the sum
+		// beats theta. No pivot means no remaining document can qualify.
+		sum := c.base
+		pivot := -1
+		for i, o := range ord {
+			sum += c.ubs[int(int32(o))]
+			if sum > theta {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			for _, o := range ord {
+				id := int(int32(o))
+				c.skipped += int64(len(c.posts[id])) - int64(c.pos[id])
+			}
+			c.ord = ord[:0]
+			return 0, false
+		}
+		pivotDoc := int32(ord[pivot] >> 32)
+		if int32(ord[0]>>32) == pivotDoc {
+			// Every cursor at or before the pivot sits on pivotDoc: its full
+			// bound sum exceeds theta, so it survives. Return it.
+			c.last = pivotDoc
+			return pivotDoc, true
+		}
+		// Cursors before the pivot lag behind pivotDoc; everything they
+		// cover below it belongs to a failing prefix. Seek them forward.
+		for i := 0; i < pivot; i++ {
+			if int32(ord[i]>>32) >= pivotDoc {
+				continue
+			}
+			id := int(int32(ord[i]))
+			np := seekPosting(c.posts[id], int(c.pos[id]), pivotDoc)
+			c.skipped += int64(np) - int64(c.pos[id])
+			c.pos[id] = int32(np)
+			if np < len(c.posts[id]) {
+				ord[i] = key(c.posts[id][np], id)
+			} else {
+				ord[i] = key(exhaustedDoc, id)
+			}
+		}
+		dirty = pivot
+	}
+}
+
+// seekPosting returns the first position >= pos whose entry is >= target,
+// by galloping then binary search. post[pos] < target must hold.
+func seekPosting(post []int32, pos int, target int32) int {
+	lo, hi := pos, len(post)
+	for step := 1; pos+step < len(post); step *= 2 {
+		if post[pos+step] >= target {
+			hi = pos + step
+			break
+		}
+		lo = pos + step
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if post[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

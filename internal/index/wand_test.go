@@ -1,0 +1,339 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// genPostings builds nLists ascending posting lists over ids [0, n), each
+// id included in a list with probability p.
+func genPostings(rng *rand.Rand, nLists, n int, p float64) [][]int32 {
+	lists := make([][]int32, nLists)
+	for i := range lists {
+		for d := 0; d < n; d++ {
+			if rng.Float64() < p {
+				lists[i] = append(lists[i], int32(d))
+			}
+		}
+	}
+	return lists
+}
+
+// boundSums computes, per document, the walk's bound sum: base plus the
+// bounds of every list containing the document — the reference the walk's
+// skip decisions are checked against.
+func boundSums(lists [][]int32, ubs []float64, base float64, n int) []float64 {
+	sums := make([]float64, n)
+	for d := range sums {
+		sums[d] = base
+	}
+	for i, post := range lists {
+		for _, d := range post {
+			sums[d] += ubs[i]
+		}
+	}
+	return sums
+}
+
+// checkSurvivors verifies a fixed-threshold walk against the brute-force
+// survivor set: strictly ascending ids, every document with bound sum
+// clearly above theta returned, none clearly below returned, and posting
+// conservation (skipped + consumed = total). Documents whose sum lies
+// within floating-point noise of theta may land either way — the walk
+// accumulates bounds in cursor-sorted order, the reference in list order,
+// and addition order shifts the last few ulps.
+func checkSurvivors(t *testing.T, got []int32, lists [][]int32, sums []float64, theta float64, total int, skipped int64) {
+	t.Helper()
+	eps := 1e-9 * math.Max(1, math.Abs(theta))
+	member := make([]int, len(sums)) // lists containing each doc
+	for _, post := range lists {
+		for _, d := range post {
+			member[d]++
+		}
+	}
+	returned := make([]bool, len(sums))
+	consumed := int64(0)
+	for i, d := range got {
+		if i > 0 && d <= got[i-1] {
+			t.Fatalf("ids not strictly ascending: %d then %d", got[i-1], d)
+		}
+		if member[d] == 0 {
+			t.Fatalf("id %d returned but absent from every posting list", d)
+		}
+		if sums[d] <= theta-eps {
+			t.Fatalf("id %d returned with bound sum %v <= theta %v", d, sums[d], theta)
+		}
+		returned[d] = true
+		consumed += int64(member[d])
+	}
+	for d := range sums {
+		if member[d] > 0 && sums[d] > theta+eps && !returned[d] {
+			t.Fatalf("id %d (bound sum %v > theta %v) was skipped", d, sums[d], theta)
+		}
+	}
+	if skipped+consumed != int64(total) {
+		t.Fatalf("theta %v: skipped %d + consumed %d != total %d", theta, skipped, consumed, total)
+	}
+}
+
+// drain walks the cursors to exhaustion at a fixed threshold.
+func drain(c *Cursors, theta float64) []int32 {
+	var out []int32
+	for {
+		d, ok := c.Next(theta)
+		if !ok {
+			return out
+		}
+		out = append(out, d)
+	}
+}
+
+// TestCursorsEnumerateUnion pins the degenerate walk: at theta = -Inf no
+// prefix can fail, so Next must enumerate the exact union of the posting
+// lists in strictly ascending order, each id once, skipping nothing.
+func TestCursorsEnumerateUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lists := genPostings(rng, 6, 200, 0.15)
+	ubs := []float64{0.3, 0.1, 0.25, 0.05, 0.2, 0.15}
+
+	c := NewCursors(0.01)
+	for i, post := range lists {
+		c.Add(post, ubs[i])
+	}
+	got := drain(c, math.Inf(-1))
+
+	union := map[int32]bool{}
+	for _, post := range lists {
+		for _, d := range post {
+			union[d] = true
+		}
+	}
+	want := make([]int32, 0, len(union))
+	for d := range union {
+		want = append(want, d)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("walk returned %d ids, union has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("id %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	if c.Skipped() != 0 {
+		t.Fatalf("threshold -Inf skipped %d postings, want 0", c.Skipped())
+	}
+}
+
+// TestCursorsFixedThresholdExact is the tier's core safety property in
+// isolation: at a fixed threshold the walk must return exactly the
+// documents whose bound sum (base + bounds of the lists containing them)
+// strictly exceeds theta — no skipped survivor, no spurious candidate —
+// in strictly ascending order, and account every passed-over posting in
+// Skipped().
+func TestCursorsFixedThresholdExact(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		nLists := 1 + rng.Intn(8)
+		lists := genPostings(rng, nLists, n, 0.02+0.3*rng.Float64())
+		ubs := make([]float64, nLists)
+		for i := range ubs {
+			ubs[i] = rng.Float64()
+		}
+		base := rng.Float64() * 0.5
+		sums := boundSums(lists, ubs, base, n)
+		// Thresholds across the interesting range, including one no document
+		// beats and one every document beats.
+		maxSum := base
+		for _, s := range sums {
+			if s > maxSum {
+				maxSum = s
+			}
+		}
+		for _, theta := range []float64{base - 1, base, maxSum * 0.3, maxSum * 0.7, maxSum * 0.99, maxSum * (1 + 1e-9)} {
+			c := NewCursors(base)
+			total := 0
+			for i, post := range lists {
+				c.Add(post, ubs[i])
+				total += len(post)
+			}
+			got := drain(c, theta)
+			checkSurvivors(t, got, lists, sums, theta, total, c.Skipped())
+		}
+	}
+}
+
+// TestCursorsRisingThreshold drives the walk the way TopKApprox does —
+// the threshold only rises between calls — and checks the one property
+// that must survive a moving bar: every document whose bound sum exceeds
+// the FINAL threshold was returned (it exceeded every earlier, lower bar
+// too, so no skip was ever allowed to drop it).
+func TestCursorsRisingThreshold(t *testing.T) {
+	const n = 250
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 30; trial++ {
+		nLists := 2 + rng.Intn(6)
+		lists := genPostings(rng, nLists, n, 0.1+0.2*rng.Float64())
+		ubs := make([]float64, nLists)
+		for i := range ubs {
+			ubs[i] = rng.Float64()
+		}
+		base := rng.Float64() * 0.3
+		sums := boundSums(lists, ubs, base, n)
+
+		c := NewCursors(base)
+		for i, post := range lists {
+			c.Add(post, ubs[i])
+		}
+		theta := math.Inf(-1)
+		final := base + 0.8*rng.Float64()
+		returned := map[int32]bool{}
+		step := 0
+		for {
+			d, ok := c.Next(theta)
+			if !ok {
+				break
+			}
+			if returned[d] {
+				t.Fatalf("trial %d: id %d returned twice", trial, d)
+			}
+			returned[d] = true
+			// Ratchet the bar upward toward final, like a filling top-K heap.
+			step++
+			if frac := float64(step) / 10; frac < 1 {
+				theta = math.Max(theta, base+frac*(final-base))
+			} else {
+				theta = final
+			}
+		}
+		for d := 0; d < n; d++ {
+			if sums[d] > final && sums[d] > base && !returned[int32(d)] {
+				// Only documents actually present in some list can return.
+				present := false
+				for _, post := range lists {
+					for _, x := range post {
+						if x == int32(d) {
+							present = true
+						}
+					}
+				}
+				if present {
+					t.Fatalf("trial %d: id %d (bound %v > final threshold %v) was skipped", trial, d, sums[d], final)
+				}
+			}
+		}
+	}
+}
+
+// TestCursorsAddDropsEmpty pins that empty posting lists never open a
+// cursor and an all-empty walk terminates immediately.
+func TestCursorsAddDropsEmpty(t *testing.T) {
+	c := NewCursors(0)
+	c.Add(nil, 1)
+	c.Add([]int32{}, 1)
+	if c.Len() != 0 {
+		t.Fatalf("empty lists opened %d cursors", c.Len())
+	}
+	if _, ok := c.Next(math.Inf(-1)); ok {
+		t.Fatal("empty cursor set returned a document")
+	}
+}
+
+// TestCursorsAddOrderIrrelevant pins that the walk is correct no matter
+// the order cursors are added: list heads arriving in descending (and
+// interleaved) order must still enumerate the union in ascending
+// document order. Regression test — the incremental reordering inside
+// Next only repairs entries it moved, so Add must leave the walk order
+// sorted from the very first call.
+func TestCursorsAddOrderIrrelevant(t *testing.T) {
+	lists := [][]int32{
+		{90, 95},
+		{50, 60, 91},
+		{10, 55, 96},
+		{0, 1, 2},
+		{30},
+	}
+	c := NewCursors(0)
+	for _, l := range lists {
+		c.Add(l, 1)
+	}
+	got := drain(c, math.Inf(-1))
+	want := []int32{0, 1, 2, 10, 30, 50, 55, 60, 90, 91, 95, 96}
+	if len(got) != len(want) {
+		t.Fatalf("union has %d ids, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("id %d = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if c.Skipped() != 0 {
+		t.Fatalf("unbounded drain skipped %d postings, want 0", c.Skipped())
+	}
+}
+
+// TestSeekPosting pins the galloping seek: first position >= target,
+// from any starting offset.
+func TestSeekPosting(t *testing.T) {
+	post := []int32{2, 3, 5, 8, 13, 21, 34, 55}
+	cases := []struct {
+		pos    int
+		target int32
+		want   int
+	}{
+		{0, 3, 1}, {0, 4, 2}, {0, 55, 7}, {0, 56, 8}, {2, 20, 5}, {4, 34, 6}, {6, 100, 8},
+	}
+	for _, c := range cases {
+		if got := seekPosting(post, c.pos, c.target); got != c.want {
+			t.Fatalf("seekPosting(pos %d, target %d) = %d, want %d", c.pos, c.target, got, c.want)
+		}
+	}
+}
+
+// FuzzCursorsInvariants fuzzes the pivot walk over randomized posting
+// lists, bounds and thresholds, checking the full invariant set: strictly
+// ascending ids, exact agreement with the brute-force survivor set at a
+// fixed threshold, and posting conservation (skipped + consumed = total).
+func FuzzCursorsInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(50), uint8(128))
+	f.Add(int64(99), uint8(1), uint8(200), uint8(0))
+	f.Add(int64(-7), uint8(8), uint8(30), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, nLists, n, thetaByte uint8) {
+		if nLists == 0 || n == 0 {
+			return
+		}
+		lists := make([][]int32, int(nLists)%9+1)
+		rng := rand.New(rand.NewSource(seed))
+		ubs := make([]float64, len(lists))
+		total := 0
+		for i := range lists {
+			for d := 0; d < int(n); d++ {
+				if rng.Intn(4) == 0 {
+					lists[i] = append(lists[i], int32(d))
+				}
+			}
+			ubs[i] = rng.Float64()
+			total += len(lists[i])
+		}
+		base := rng.Float64() * 0.2
+		sums := boundSums(lists, ubs, base, int(n))
+		maxSum := base
+		for _, s := range sums {
+			if s > maxSum {
+				maxSum = s
+			}
+		}
+		theta := maxSum * float64(thetaByte) / 255
+
+		c := NewCursors(base)
+		for i, post := range lists {
+			c.Add(post, ubs[i])
+		}
+		got := drain(c, theta)
+		checkSurvivors(t, got, lists, sums, theta, total, c.Skipped())
+	})
+}

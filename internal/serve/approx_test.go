@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dehealth/internal/core"
+)
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// approxBackend wraps testBackend with the optional approximate-tier
+// interfaces, counting how many users each path answered so routing is
+// observable from the wire.
+type approxBackend struct {
+	*testBackend
+	approxUsers int64 // users answered through the approx methods
+}
+
+func (b *approxBackend) QueryUserApprox(u, k int) ([]core.Candidate, error) {
+	atomic.AddInt64(&b.approxUsers, 1)
+	return b.testBackend.QueryUser(u, k)
+}
+
+func (b *approxBackend) QueryBatchApprox(users []int, k int) ([][]core.Candidate, error) {
+	atomic.AddInt64(&b.approxUsers, int64(len(users)))
+	return b.testBackend.QueryBatch(users, k)
+}
+
+func (b *approxBackend) ApproxCounters() (ApproxCounters, bool) {
+	return ApproxCounters{Queries: atomic.LoadInt64(&b.approxUsers)}, true
+}
+
+// TestQueryApproxRouting pins the wire knob: {"approx": true} requests
+// route to the backend's approximate methods, plain requests to the exact
+// ones, and a mixed micro-batch splits into per-flag groups.
+func TestQueryApproxRouting(t *testing.T) {
+	b := &approxBackend{testBackend: newTestBackend(t, 16, 81)}
+	s := New(b, Config{MaxBatch: 8, FlushInterval: 2 * time.Millisecond, DefaultK: 5})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type queryResp struct {
+		User       int `json:"user"`
+		Candidates []struct {
+			User  int     `json:"user"`
+			Score float64 `json:"score"`
+		} `json:"candidates"`
+	}
+	exact := decode[queryResp](t, postJSON(t, ts.URL+"/v1/query", map[string]any{"user": 1, "k": 4}))
+	if atomic.LoadInt64(&b.approxUsers) != 0 {
+		t.Fatal("plain query routed to the approx path")
+	}
+	approx := decode[queryResp](t, postJSON(t, ts.URL+"/v1/query", map[string]any{"user": 1, "k": 4, "approx": true}))
+	if got := atomic.LoadInt64(&b.approxUsers); got != 1 {
+		t.Fatalf("approx query answered %d users through the approx path, want 1", got)
+	}
+	// This test backend answers both paths identically, so the wire results
+	// must agree too.
+	if len(exact.Candidates) != len(approx.Candidates) {
+		t.Fatalf("exact/approx candidate counts differ: %d vs %d", len(exact.Candidates), len(approx.Candidates))
+	}
+	for i := range exact.Candidates {
+		if exact.Candidates[i] != approx.Candidates[i] {
+			t.Fatalf("candidate %d differs: %+v vs %+v", i, exact.Candidates[i], approx.Candidates[i])
+		}
+	}
+
+	// The stats block surfaces the backend's counters.
+	stats := decode[Stats](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.Approx == nil || stats.Approx.Queries != 1 {
+		t.Fatalf("stats approx block = %+v, want 1 query", stats.Approx)
+	}
+}
+
+// TestQueryApproxWithoutCapableBackend pins graceful degradation: the
+// knob on a backend without the approximate interfaces answers exactly,
+// and the stats omit the approx block entirely.
+func TestQueryApproxWithoutCapableBackend(t *testing.T) {
+	b := newTestBackend(t, 14, 83)
+	s := New(b, Config{MaxBatch: 4, FlushInterval: time.Millisecond, DefaultK: 5})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type queryResp struct {
+		Candidates []struct {
+			User  int     `json:"user"`
+			Score float64 `json:"score"`
+		} `json:"candidates"`
+	}
+	got := decode[queryResp](t, postJSON(t, ts.URL+"/v1/query", map[string]any{"user": 0, "k": 3, "approx": true}))
+	if len(got.Candidates) != 3 {
+		t.Fatalf("approx knob on an exact-only backend returned %d candidates, want 3", len(got.Candidates))
+	}
+	raw := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/stats"))
+	if _, ok := raw["approx"]; ok {
+		t.Fatal("exact-only backend stats must omit the approx block")
+	}
+}

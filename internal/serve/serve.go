@@ -79,6 +79,36 @@ type PruneStatser interface {
 	PruneCounters() (PruneCounters, bool)
 }
 
+// ApproxCounters is the approximate-tier block of /v1/stats: cumulative
+// per-shard-query counters of the max-score/WAND candidate generation.
+// Returned scores are always exact; the counters describe how much
+// scanning the posting cursors skipped.
+type ApproxCounters struct {
+	Queries         int64 `json:"queries"`
+	Fallbacks       int64 `json:"fallbacks"`
+	CursorsOpened   int64 `json:"cursors_opened"`
+	PostingsSkipped int64 `json:"postings_skipped"`
+	Rescored        int64 `json:"rescored"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+}
+
+// ApproxStatser is the optional Backend extension for approximate-tier
+// counters, mirroring PruneStatser: backends with the tier enabled report
+// (counters, true) and /v1/stats carries an "approx" block.
+type ApproxStatser interface {
+	ApproxCounters() (ApproxCounters, bool)
+}
+
+// ApproxQueryer is the optional Backend extension behind the per-request
+// "approx" query knob: requests flagged approximate are answered through
+// these methods (grouped per flush exactly like the exact path). A
+// backend without the extension answers such requests exactly — the knob
+// is an opt-in accelerator, never a correctness switch.
+type ApproxQueryer interface {
+	QueryUserApprox(u, k int) ([]core.Candidate, error)
+	QueryBatchApprox(users []int, k int) ([][]core.Candidate, error)
+}
+
 // Backend is the prepared world a Server queries and grows. Implementations
 // need no internal locking against the Server: all calls arrive from the
 // dispatcher's flush, ingestion strictly before queries. When the backend
@@ -178,12 +208,15 @@ type Stats struct {
 	Shards    []ShardCount `json:"shards"`
 	// Prune carries the candidate-pruning counters when the backend
 	// prunes (see PruneStatser); omitted otherwise.
-	Prune         *PruneCounters `json:"prune,omitempty"`
-	Queries       int64          `json:"queries"`
-	Ingests       int64          `json:"ingests"`
-	Batches       int64          `json:"batches"`
-	MeanBatchSize float64        `json:"mean_batch_size"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
+	Prune *PruneCounters `json:"prune,omitempty"`
+	// Approx carries the approximate-tier counters when the backend has
+	// the tier enabled (see ApproxStatser); omitted otherwise.
+	Approx        *ApproxCounters `json:"approx,omitempty"`
+	Queries       int64           `json:"queries"`
+	Ingests       int64           `json:"ingests"`
+	Batches       int64           `json:"batches"`
+	MeanBatchSize float64         `json:"mean_batch_size"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
 }
 
 // Server is the running query service. Create with New, expose with
@@ -332,25 +365,26 @@ func (s *Server) flush(batch []*request) {
 	if len(queries) == 0 {
 		return
 	}
-	// Batched query path: peel the flush's queries into same-k groups (in
-	// first-arrival order) and answer each group with one Backend.QueryBatch
-	// call, so the backend's multi-query kernel scores the whole group per
-	// pass over the auxiliary data. MaxBatch is thus the kernel's batch
-	// width. The group/user scratch lives on the Server and is reused
-	// across flushes.
+	// Batched query path: peel the flush's queries into same-(k, approx)
+	// groups (in first-arrival order) and answer each group with one
+	// Backend.QueryBatch (or QueryBatchApprox) call, so the backend's
+	// multi-query kernel scores the whole group per pass over the
+	// auxiliary data. MaxBatch is thus the kernel's batch width. The
+	// group/user scratch lives on the Server and is reused across flushes.
 	for qs := queries; len(qs) > 0; {
 		k := s.effectiveK(qs[0])
+		approx := qs[0].query.Approx
 		grp, users := s.grpReqs[:0], s.grpUsers[:0]
 		rest := qs[:0]
 		for _, r := range qs {
-			if s.effectiveK(r) == k {
+			if s.effectiveK(r) == k && r.query.Approx == approx {
 				grp = append(grp, r)
 				users = append(users, r.query.User)
 			} else {
 				rest = append(rest, r)
 			}
 		}
-		cands, err := s.backend.QueryBatch(users, k)
+		cands, err := s.queryGroup(users, k, approx)
 		if err == nil && len(cands) == len(grp) {
 			for i, r := range grp {
 				r.done <- result{candidates: cands[i], user: users[i]}
@@ -376,6 +410,29 @@ func (s *Server) effectiveK(r *request) int {
 	return s.cfg.DefaultK
 }
 
+// queryGroup answers one same-(k, approx) group: approximate groups go
+// through the backend's ApproxQueryer when it has one, and degrade to the
+// exact batch path otherwise — the knob accelerates, never errors.
+func (s *Server) queryGroup(users []int, k int, approx bool) ([][]core.Candidate, error) {
+	if approx {
+		if aq, ok := s.backend.(ApproxQueryer); ok {
+			return aq.QueryBatchApprox(users, k)
+		}
+	}
+	return s.backend.QueryBatch(users, k)
+}
+
+// queryOne answers a single query on the fallback path, honoring its
+// approx flag the same way queryGroup does.
+func (s *Server) queryOne(r *request) ([]core.Candidate, error) {
+	if r.query.Approx {
+		if aq, ok := s.backend.(ApproxQueryer); ok {
+			return aq.QueryUserApprox(r.query.User, s.effectiveK(r))
+		}
+	}
+	return s.backend.QueryUser(r.query.User, s.effectiveK(r))
+}
+
 // queryFallback answers a failed batch group one query at a time over the
 // Config.Workers pool, giving every waiter its own per-request verdict.
 func (s *Server) queryFallback(queries []*request) {
@@ -390,7 +447,7 @@ func (s *Server) queryFallback(queries []*request) {
 		go func() {
 			defer wg.Done()
 			for r := range jobs {
-				cands, err := s.backend.QueryUser(r.query.User, s.effectiveK(r))
+				cands, err := s.queryOne(r)
 				r.done <- result{candidates: cands, user: r.query.User, err: err}
 			}
 		}()
@@ -442,11 +499,18 @@ func (s *Server) Stats() Stats {
 			prune = &c
 		}
 	}
+	var approx *ApproxCounters
+	if as, ok := s.backend.(ApproxStatser); ok {
+		if c, enabled := as.ApproxCounters(); enabled {
+			approx = &c
+		}
+	}
 	return Stats{
 		AnonUsers:     anon,
 		AuxUsers:      aux,
 		Shards:        s.backend.ShardSizes(),
 		Prune:         prune,
+		Approx:        approx,
 		Queries:       atomic.LoadInt64(&s.queries),
 		Ingests:       atomic.LoadInt64(&s.ingests),
 		Batches:       batches,
@@ -508,6 +572,10 @@ func (s *Server) Close() error {
 type queryWire struct {
 	User int `json:"user"`
 	K    int `json:"k,omitempty"`
+	// Approx opts this query into the approximate retrieval tier (see
+	// ApproxQueryer); ignored — answered exactly — when the backend does
+	// not implement the tier.
+	Approx bool `json:"approx,omitempty"`
 }
 
 type candidateWire struct {

@@ -172,6 +172,8 @@ func (w *World) WithPruning(cfg index.Config, st *index.Stats) *World {
 		scanTokens: w.scanTokens,
 		prune:      &cfg,
 		pstats:     st,
+		approx:     w.approx,
+		astats:     w.astats,
 	}
 	var wg sync.WaitGroup
 	for i, sh := range w.shards {

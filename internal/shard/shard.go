@@ -164,6 +164,11 @@ type World struct {
 	// counter block those queries accumulate into.
 	prune  *index.Config
 	pstats *index.Stats
+	// approx, when non-nil, enables the approximate query tier
+	// (QueryUserApprox; see approx.go) under this index configuration;
+	// astats is its shared counter block. The exact paths are unaffected.
+	approx *index.Config
+	astats *index.ApproxStats
 }
 
 // Bounds returns the n+1 partition offsets that cut total users into n
@@ -223,14 +228,17 @@ func New(base *similarity.Scorer, auxUDA *graph.UDA, auxStore *features.Store, n
 // base scorer, reusing the partition bounds, store views, induced
 // subgraphs and inverted indexes — topology and attribute postings do not
 // depend on the similarity configuration, so re-configuring a sharded
-// world costs O(shards) slice headers. A pruned world stays pruned, still
-// accumulating into the same shared stats.
+// world costs O(shards) slice headers. A pruned world stays pruned and an
+// approximate-tier world keeps the tier, both still accumulating into the
+// same shared stats.
 func (w *World) WithScorer(base *similarity.Scorer) *World {
 	out := &World{
 		shards:     make([]*Shard, len(w.shards)),
 		scanTokens: w.scanTokens,
 		prune:      w.prune,
 		pstats:     w.pstats,
+		approx:     w.approx,
+		astats:     w.astats,
 	}
 	for i, sh := range w.shards {
 		ns := &Shard{Lo: sh.Lo, Hi: sh.Hi, View: sh.View, Sub: sh.Sub, Scorer: base, Index: sh.Index}

@@ -69,6 +69,12 @@ type Meta struct {
 	Prune                 bool    `json:"prune"`
 	PruneBands            int     `json:"prune_bands,omitempty"`
 	PruneMaxCandidateFrac float64 `json:"prune_max_candidate_frac,omitempty"`
+	// Approx records whether the world had the approximate retrieval tier
+	// enabled; it reuses the secShardIndex sections (and the Prune* build
+	// configuration fields) so an approx-only world still carries its
+	// shard indexes. A JSON field addition: older files simply load with
+	// the tier off, no format version bump.
+	Approx bool `json:"approx,omitempty"`
 	// C1, C2, C3 and Landmarks pin the similarity configuration the saved
 	// scorer caches were computed under.
 	C1        float64 `json:"c1"`
@@ -243,8 +249,8 @@ func Load(path string, opt Options) (*World, error) {
 		}
 		w.Indexes = append(w.Indexes, ip)
 	}
-	if w.Meta.Prune && len(w.Indexes) == 0 {
-		return nil, fmt.Errorf("%w: pruned snapshot carries no shard index sections", ErrCorrupt)
+	if (w.Meta.Prune || w.Meta.Approx) && len(w.Indexes) == 0 {
+		return nil, fmt.Errorf("%w: pruned/approx snapshot carries no shard index sections", ErrCorrupt)
 	}
 	// The exact section count is validated against the reconstructed shard
 	// partition by the assembling layer — Meta.Shards is the requested

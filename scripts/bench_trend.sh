@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench_trend.sh — one table over every BENCH_*.json artifact in the repo
+# root, so a reviewer (or the CI log) can read the whole performance
+# trajectory without opening seven JSON files. Each artifact's numeric
+# scalars are flattened (one nesting level deep: "dense.full_qps",
+# "qps.full-scan", ...); lists such as theta sweeps are summarized by
+# entry count. The script only reports — it never gates: benchmarks run
+# on shared runners and a slow machine must not fail the build. Usage:
+#
+#   ./scripts/bench_trend.sh [dir]     # dir defaults to the repo root
+set -euo pipefail
+
+dir=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench_trend: python3 not available, skipping trend table" >&2
+    exit 0
+fi
+shopt -s nullglob
+files=("$dir"/BENCH_*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "bench_trend: no BENCH_*.json artifacts under $dir" >&2
+    exit 0
+fi
+
+python3 - "${files[@]}" <<'PY'
+import json
+import sys
+
+
+def flatten(prefix, v, out):
+    if isinstance(v, bool):
+        return
+    if isinstance(v, (int, float)):
+        out.append((prefix, v))
+    elif isinstance(v, dict):
+        for k in sorted(v):
+            flatten(f"{prefix}.{k}" if prefix else k, v[k], out)
+    elif isinstance(v, list):
+        out.append((f"{prefix}[n]", len(v)))
+
+
+rows = []
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    name = doc.get("benchmark", path.rsplit("/", 1)[-1])
+    core = "1-core" if doc.get("single_core") else f"{doc.get('gomaxprocs', '?')}-core"
+    flat = []
+    for key in sorted(doc):
+        if key in ("benchmark", "generated", "interpretation", "baseline",
+                   "gomaxprocs", "single_core", "world", "config"):
+            continue
+        flatten(key, doc[key], flat)
+    for metric, value in flat:
+        rows.append((name, metric, value, core))
+
+wn = max(len(r[0]) for r in rows)
+wm = max(len(r[1]) for r in rows)
+print(f"{'benchmark':<{wn}}  {'metric':<{wm}}  {'value':>14}  cores")
+print("-" * (wn + wm + 30))
+for name, metric, value, core in rows:
+    if isinstance(value, float):
+        val = f"{value:,.3f}"
+    else:
+        val = f"{value:,}"
+    print(f"{name:<{wn}}  {metric:<{wm}}  {val:>14}  {core}")
+PY

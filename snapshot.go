@@ -61,6 +61,7 @@ func (w *PreparedWorld) Snapshot(path string) error {
 		Meta: snapshot.Meta{
 			Shards:    w.shards,
 			Prune:     w.pruneStats != nil,
+			Approx:    w.approxStats != nil,
 			C1:        cfg.C1,
 			C2:        cfg.C2,
 			C3:        cfg.C3,
@@ -88,12 +89,12 @@ func (w *PreparedWorld) Snapshot(path string) error {
 		AuxClose: sp.AuxClose, AuxCloseNorm: sp.AuxCloseNorm,
 		AuxWcl: sp.AuxWcl, AuxWclNorm: sp.AuxWclNorm,
 	}
-	if w.pruneStats != nil {
+	if w.pruneStats != nil || w.approxStats != nil {
 		var bands int
 		var frac float64
 		for _, sh := range p.ShardWindows() {
 			if sh.Index == nil {
-				return fmt.Errorf("dehealth: pruned world shard [%d, %d) has no index to snapshot", sh.Lo, sh.Hi)
+				return fmt.Errorf("dehealth: indexed world shard [%d, %d) has no index to snapshot", sh.Lo, sh.Hi)
 			}
 			ip := sh.Index.Parts()
 			bc := sh.Index.BuildConfig()
@@ -250,8 +251,8 @@ func LoadWorld(path string, opt LoadOptions) (*PreparedWorld, error) {
 
 	p := core.NewRestoredPipeline(anonStore, auxStore, sc, meta.Shards)
 	var stats *index.Stats
-	if meta.Prune {
-		stats = &index.Stats{}
+	var astats *index.ApproxStats
+	if meta.Prune || meta.Approx {
 		wins := p.ShardWindows()
 		if len(sw.Indexes) != len(wins) {
 			return nil, fmt.Errorf("%w: %d shard index sections for %d shards", snapshot.ErrCorrupt, len(sw.Indexes), len(wins))
@@ -277,9 +278,18 @@ func LoadWorld(path string, opt LoadOptions) (*PreparedWorld, error) {
 			}
 			sh.Index = x
 		}
-		// WithPruning reuses the installed indexes: the configuration's
-		// build-relevant part (Bands) matches by construction.
-		p = p.Pruned(index.Config{Bands: meta.PruneBands, MaxCandidateFrac: meta.PruneMaxCandidateFrac}, stats)
+		// WithPruning/WithApprox reuse the installed indexes: the
+		// configuration's build-relevant part (Bands) matches by
+		// construction. Both tiers share the same index sections.
+		icfg := index.Config{Bands: meta.PruneBands, MaxCandidateFrac: meta.PruneMaxCandidateFrac}
+		if meta.Prune {
+			stats = &index.Stats{}
+			p = p.Pruned(icfg, stats)
+		}
+		if meta.Approx {
+			astats = &index.ApproxStats{}
+			p = p.Approx(icfg, astats)
+		}
 	}
 
 	prepOpt := Options{
@@ -287,14 +297,16 @@ func LoadWorld(path string, opt LoadOptions) (*PreparedWorld, error) {
 		Landmarks: meta.Landmarks,
 		Shards:    meta.Shards,
 		Prune:     meta.Prune,
+		Approx:    ApproxConfig{Enabled: meta.Approx},
 	}
 	return &PreparedWorld{
 		Anon: anonData, Aux: auxData,
 		anonStore: anonStore, auxStore: auxStore,
-		shards:     meta.Shards,
-		prepOpt:    prepOpt,
-		pruneStats: stats,
-		pipelines:  map[similarity.Config]*core.Pipeline{cfg: p},
+		shards:      meta.Shards,
+		prepOpt:     prepOpt,
+		pruneStats:  stats,
+		approxStats: astats,
+		pipelines:   map[similarity.Config]*core.Pipeline{cfg: p},
 	}, nil
 }
 
