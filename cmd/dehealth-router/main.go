@@ -1,0 +1,90 @@
+// Command dehealth-router runs the distributed scatter-gather front of a
+// De-Health shard fleet: it fans each query out to N dehealthd shard
+// servers (each booted from a per-shard snapshot slice; see dehealthd
+// -write-slices) and merges their answers bit-identically to a single
+// sharded process, adding replication, hedged requests, per-shard
+// deadlines with partial-result degradation, and bounded retries.
+//
+// Usage:
+//
+//	dehealth-router -addr :8800 \
+//	    -shard http://host0:8701,http://host0b:8701 \
+//	    -shard http://host1:8702
+//
+// Each -shard flag is one shard, in shard order, listing its replica base
+// URLs comma-separated. The shard order must match the slice order the
+// fleet was cut in (-write-slices names files .slice-<i>-of-<n>.snap);
+// the router's health prober verifies every replica's advertised identity
+// against its position, so a misordered topology is quarantined, not
+// silently merged.
+//
+// API:
+//
+//	POST /v1/query  {"user": 17, "k": 10}        # merged top-k; "partial": true + "missing_shards" under degradation
+//	POST /v1/batch  {"users": [17, 4], "k": 10}
+//	GET  /v1/stats                               # replica health + retry/hedge/partial counters
+//	GET  /healthz                                # 503 "degraded" when a shard has no healthy replica
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"dehealth/internal/router"
+)
+
+// shardFlags collects repeated -shard values in order.
+type shardFlags [][]string
+
+func (s *shardFlags) String() string { return "" }
+
+func (s *shardFlags) Set(v string) error {
+	var replicas []string
+	for _, r := range strings.Split(v, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicas = append(replicas, r)
+		}
+	}
+	*s = append(*s, replicas)
+	return nil
+}
+
+func msToDuration(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+func main() {
+	var shards shardFlags
+	flag.Var(&shards, "shard", "one shard's replica base URLs, comma-separated; repeat once per shard, in shard order")
+	var (
+		addr      = flag.String("addr", ":8800", "HTTP listen address")
+		k         = flag.Int("k", 10, "default Top-K candidate set size")
+		timeoutMS = flag.Int("timeout-ms", 2000, "per-shard deadline (retries and hedges included); a shard missing it degrades the response to partial")
+		hedgeMS   = flag.Int("hedge-ms", 0, "launch a hedged attempt on another replica after this many milliseconds without an answer (0 = off)")
+		retries   = flag.Int("retries", 2, "extra attempts per shard call beyond the first (hedges share the budget)")
+		backoffMS = flag.Int("retry-backoff-ms", 10, "delay before the first retry, doubling per retry")
+		healthMS  = flag.Int("health-ms", 1000, "background replica health-probe period (< 0 disables probing)")
+	)
+	flag.Parse()
+
+	r, err := router.New(router.Config{
+		Shards:         shards,
+		K:              *k,
+		ShardTimeout:   msToDuration(*timeoutMS),
+		HedgeDelay:     msToDuration(*hedgeMS),
+		Retries:        *retries,
+		RetryBackoff:   msToDuration(*backoffMS),
+		HealthInterval: msToDuration(*healthMS),
+	})
+	if err != nil {
+		log.Fatalf("dehealth-router: %v (pass -shard once per shard)", err)
+	}
+	defer r.Close()
+
+	log.Printf("dehealth-router: fronting %d shards on %s (timeout %dms, hedge %dms, retries %d)",
+		len(shards), *addr, *timeoutMS, *hedgeMS, *retries)
+	if err := http.ListenAndServe(*addr, r.Handler()); err != nil {
+		log.Fatalf("dehealth-router: %v", err)
+	}
+}

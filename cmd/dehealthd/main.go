@@ -22,6 +22,15 @@
 //	dehealthd -snapshot world.snap -no-mmap          # warm restart with the copying loader
 //	dehealthd -synth 300 -pprof localhost:6060        # profiling listener
 //
+// Distributed serving (see docs/ARCHITECTURE.md): -write-slices cuts the
+// prepared world into one snapshot slice per shard and exits; each slice
+// then boots a shard server that maps only its own partition, fronted by
+// cmd/dehealth-router:
+//
+//	dehealthd -synth 300 -synth-anon -shards 4 -write-slices world   # world.slice-{0..3}-of-4.snap
+//	dehealthd -addr :8701 -snapshot world.slice-0-of-4.snap          # shard server 0
+//	dehealth-router -addr :8800 -shard http://h0:8701 -shard ...     # scatter-gather front
+//
 // API:
 //
 //	POST /v1/query    {"user": 17, "k": 10}                  # optional "approx": true with -approx
@@ -53,6 +62,7 @@ func main() {
 		auxPath      = flag.String("aux", "", "auxiliary dataset JSON (the adversary's world; required unless -synth or a -snapshot file exists)")
 		anon         = flag.String("anon", "", "optional anonymized dataset JSON to preload; default starts empty")
 		synth        = flag.Int("synth", 0, "demo mode: generate a synthetic auxiliary world with this many users instead of -aux")
+		synthAnon    = flag.Bool("synth-anon", false, "with -synth: closed-world split the synthetic data so the anonymized side starts populated (queryable out of the box)")
 		workers      = flag.Int("workers", 0, "query worker pool per flush (0 = all CPUs)")
 		shards       = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
 		prune        = flag.Bool("prune", false, "candidate-pruned queries via per-shard attribute inverted indexes (results identical; see /v1/stats prune counters)")
@@ -68,6 +78,7 @@ func main() {
 		pprofA       = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); off by default")
 		snapPath     = flag.String("snapshot", "", "world snapshot path: loaded on start when the file exists (warm restart), written on graceful shutdown and POST /v1/snapshot")
 		noMmap       = flag.Bool("no-mmap", false, "load -snapshot with the copying decoder instead of memory-mapping the file")
+		writeSlices  = flag.String("write-slices", "", "prepare the world, write one snapshot slice per shard as <prefix>.slice-<i>-of-<n>.snap, and exit (no server); boot each slice with -snapshot and front them with dehealth-router")
 	)
 	flag.Parse()
 
@@ -100,8 +111,23 @@ func main() {
 		opt.Approx.Theta = *approxTheta
 		opt.Approx.Budget = *approxBudget
 	} else {
-		pw, opt = coldBoot(*auxPath, *anon, *synth, *seed, *hbar, *bigrams, *workers, *shards, *prune, *k,
+		pw, opt = coldBoot(*auxPath, *anon, *synth, *synthAnon, *seed, *hbar, *bigrams, *workers, *shards, *prune, *k,
 			dehealth.ApproxConfig{Enabled: *approx, Theta: *approxTheta, Budget: *approxBudget})
+	}
+
+	if *writeSlices != "" {
+		start := time.Now()
+		paths, err := pw.SnapshotSlices(*writeSlices)
+		if err != nil {
+			log.Fatalf("dehealthd: writing slices: %v", err)
+		}
+		for _, p := range paths {
+			if fi, err := os.Stat(p); err == nil {
+				log.Printf("dehealthd: slice written to %s (%d bytes)", p, fi.Size())
+			}
+		}
+		log.Printf("dehealthd: %d slices in %dms; boot each with -snapshot and front them with dehealth-router", len(paths), time.Since(start).Milliseconds())
+		return
 	}
 
 	srv := dehealth.NewServer(pw, dehealth.ServeOptions{
@@ -166,8 +192,8 @@ func warmBoot(path string, noMmap bool) *dehealth.PreparedWorld {
 
 // coldBoot prepares the world from datasets (or a synthetic demo world)
 // exactly as pre-snapshot dehealthd always did.
-func coldBoot(auxPath, anonPath string, synth int, seed int64, hbar, bigrams, workers, shards int, prune bool, k int, approx dehealth.ApproxConfig) (*dehealth.PreparedWorld, dehealth.Options) {
-	var aux *dehealth.Dataset
+func coldBoot(auxPath, anonPath string, synth int, synthAnon bool, seed int64, hbar, bigrams, workers, shards int, prune bool, k int, approx dehealth.ApproxConfig) (*dehealth.PreparedWorld, dehealth.Options) {
+	var aux, splitAnon *dehealth.Dataset
 	switch {
 	case auxPath != "":
 		var err error
@@ -177,12 +203,22 @@ func coldBoot(auxPath, anonPath string, synth int, seed int64, hbar, bigrams, wo
 	case synth > 0:
 		world := dehealth.GenerateWorld(dehealth.WorldConfig{WebMDUsers: synth, HBUsers: synth, Seed: seed})
 		aux = world.WebMD
+		if synthAnon {
+			// Closed-world split: half of each user's posts become the
+			// anonymized side, so the demo world answers queries (and the
+			// router smoke test can drive it) without any ingestion.
+			sp := dehealth.SplitClosedWorld(world.WebMD, 0.5, seed)
+			aux, splitAnon = sp.Aux, sp.Anon
+		}
 		log.Printf("dehealthd: synthetic auxiliary world: %d users, %d posts", aux.NumUsers(), aux.NumPosts())
 	default:
 		log.Fatal("dehealthd: -aux is required (or -synth for a demo world, or an existing -snapshot file)")
 	}
 
 	anonDS := &dehealth.Dataset{Name: "observed"}
+	if splitAnon != nil {
+		anonDS = splitAnon
+	}
 	if anonPath != "" {
 		var err error
 		if anonDS, err = dehealth.LoadDataset(anonPath); err != nil {

@@ -342,6 +342,10 @@ type PreparedWorld struct {
 	// approxStats, when non-nil, enables the approximate retrieval tier on
 	// every derived pipeline, all sharing this one counter block.
 	approxStats *index.ApproxStats
+	// slice, when non-nil, marks a world loaded from a per-shard snapshot
+	// slice (see SnapshotSlices): it serves the global auxiliary id window
+	// [slice.Lo, slice.Hi) under local ids starting at 0.
+	slice *SliceInfo
 
 	// world serializes growth of the anonymized side (Ingest) against
 	// everything that reads the stores (queries, attacks).
@@ -851,6 +855,18 @@ func (b serveBackend) QueryBatchApprox(users []int, k int) ([][]Candidate, error
 	opt.Approx.Enabled = true
 	opt.Workers = b.workers
 	return b.w.QueryBatch(users, k, opt)
+}
+
+// ShardSlice reports the world's slice identity to the serving layer (see
+// serve.SliceInfoer): a world loaded from a per-shard snapshot slice
+// advertises its global auxiliary window so the /internal/query reply
+// rebases local candidate ids to global ones.
+func (b serveBackend) ShardSlice() (serve.ShardSlice, bool) {
+	s, ok := b.w.SliceInfo()
+	if !ok {
+		return serve.ShardSlice{}, false
+	}
+	return serve.ShardSlice{Shard: s.Shard, Shards: s.Shards, Lo: s.Lo, Hi: s.Hi, AuxTotal: s.AuxTotal}, true
 }
 
 func (b serveBackend) ShardSizes() []serve.ShardCount {

@@ -1,0 +1,145 @@
+// The router's public HTTP surface. It mirrors the shard servers' /v1
+// query shapes (a router drop-in replaces a single dehealthd for query
+// traffic) and adds the degradation report: partial responses carry
+// "partial": true plus the missing shard list. Ingestion is not routed —
+// the auxiliary world is immutable at serving time and anonymized-side
+// growth belongs to the offline prepare → slice → redeploy cycle — so the
+// router exposes no /v1/ingest.
+
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dehealth/internal/shard"
+)
+
+type queryWire struct {
+	User   int  `json:"user"`
+	K      int  `json:"k,omitempty"`
+	Approx bool `json:"approx,omitempty"`
+}
+
+type batchWire struct {
+	Users  []int `json:"users"`
+	K      int   `json:"k,omitempty"`
+	Approx bool  `json:"approx,omitempty"`
+}
+
+type candidateWire struct {
+	User  int     `json:"user"`
+	Score float64 `json:"score"`
+}
+
+type queryReplyWire struct {
+	User       int             `json:"user"`
+	Candidates []candidateWire `json:"candidates"`
+	Partial    bool            `json:"partial,omitempty"`
+	Missing    []int           `json:"missing_shards,omitempty"`
+}
+
+type batchReplyWire struct {
+	Results [][]candidateWire `json:"results"`
+	Partial bool              `json:"partial,omitempty"`
+	Missing []int             `json:"missing_shards,omitempty"`
+}
+
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the router's HTTP API:
+//
+//	POST /v1/query  {"user": 17, "k": 10}        -> {"user": 17, "candidates": [...], "partial": true, "missing_shards": [1]}
+//	POST /v1/batch  {"users": [17, 4], "k": 10}  -> {"results": [[...], [...]], ...}
+//	GET  /v1/stats                               -> Stats (topology health + robustness counters)
+//	GET  /healthz                                -> 200 "ok" / 503 "degraded" (a shard has no healthy replica)
+//
+// Queries that no shard can answer get 503 with the error body; partial
+// degradation is a 200 with the report fields set.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", r.handleQuery)
+	mux.HandleFunc("POST /v1/batch", r.handleBatch)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !r.Healthy() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	var q queryWire
+	if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorWire{Error: "invalid query body: " + err.Error()})
+		return
+	}
+	res, err := r.QueryUser(req.Context(), q.User, q.K, q.Approx)
+	if err != nil {
+		writeJSON(w, errorStatus(err), errorWire{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, queryReplyWire{
+		User: q.User, Candidates: wireCandidates(res.Candidates),
+		Partial: res.Partial, Missing: res.Missing,
+	})
+}
+
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	var q batchWire
+	if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorWire{Error: "invalid batch body: " + err.Error()})
+		return
+	}
+	if len(q.Users) == 0 {
+		writeJSON(w, http.StatusOK, batchReplyWire{Results: [][]candidateWire{}})
+		return
+	}
+	res, err := r.QueryBatch(req.Context(), q.Users, q.K, q.Approx)
+	if err != nil {
+		writeJSON(w, errorStatus(err), errorWire{Error: err.Error()})
+		return
+	}
+	reply := batchReplyWire{Results: make([][]candidateWire, len(res.Results)), Partial: res.Partial, Missing: res.Missing}
+	for i, cs := range res.Results {
+		reply.Results[i] = wireCandidates(cs)
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func wireCandidates(cs []shard.Candidate) []candidateWire {
+	out := make([]candidateWire, len(cs))
+	for i, c := range cs {
+		out[i] = candidateWire{User: c.User, Score: c.Score}
+	}
+	return out
+}
+
+// errorStatus maps router errors to HTTP: a fleet that cannot answer is
+// unavailability, not a client fault. Shard-side 400s (an out-of-range
+// user id, say) surface through the retry layer's wrapped message but
+// still arrive here as "no shard answered" — every replica rejected the
+// request — so 503 with the underlying text is the honest mapping.
+func errorStatus(err error) int {
+	if errors.Is(err, ErrAllShardsDown) || errors.Is(err, ErrNoShards) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

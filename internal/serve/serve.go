@@ -251,16 +251,18 @@ type Server struct {
 }
 
 type request struct {
-	// Exactly one of query / ingest is set.
+	// Exactly one of query / ingest / bquery is set.
 	query  *queryWire
 	ingest []features.UserPosts // one client's ingest batch from /v1/ingest
+	bquery *InternalQuery       // one router-side shard batch from /internal/query
 	done   chan result          // buffered(1): flush never blocks on it
 }
 
 type result struct {
 	candidates []core.Candidate
 	user       int
-	users      []int // new ids of an ingest request, aligned with its batch
+	users      []int              // new ids of an ingest request, aligned with its batch
+	batch      [][]core.Candidate // per-user answers of a bquery, aligned with it
 	err        error
 }
 
@@ -328,12 +330,16 @@ func (s *Server) flush(batch []*request) {
 
 	var ingests []*request
 	var queries []*request
+	var bqueries []*request
 	var users []features.UserPosts
 	for _, r := range batch {
-		if r.ingest != nil {
+		switch {
+		case r.ingest != nil:
 			ingests = append(ingests, r)
 			users = append(users, r.ingest...)
-		} else {
+		case r.bquery != nil:
+			bqueries = append(bqueries, r)
+		default:
 			queries = append(queries, r)
 		}
 	}
@@ -361,6 +367,22 @@ func (s *Server) flush(batch []*request) {
 			}
 		}
 		atomic.AddInt64(&s.ingests, int64(len(ingests)))
+	}
+	// Internal shard batches: each already arrives grouped (the router
+	// builds one per shard call), so each is one ready-made kernel group —
+	// a single queryGroup call, no regrouping. An error fails the whole
+	// call; the router's retry/hedge layer owns recovery.
+	for _, r := range bqueries {
+		q := r.bquery
+		k := q.K
+		if k <= 0 {
+			k = s.cfg.DefaultK
+		}
+		cands, err := s.queryGroup(q.Users, k, q.Approx)
+		r.done <- result{batch: cands, err: err}
+		if err == nil {
+			atomic.AddInt64(&s.queries, int64(len(q.Users)))
+		}
 	}
 	if len(queries) == 0 {
 		return
@@ -620,6 +642,8 @@ type errorWire struct {
 //	POST /v1/snapshot                                   -> SnapshotInfo (501 when Config.Snapshot is nil)
 //	GET  /v1/stats                                      -> Stats (aggregate + per-shard counts)
 //	GET  /healthz                                       -> ok
+//	GET  /internal/shard                                -> ShardInfo (shard identity; see internal.go)
+//	POST /internal/query                                -> InternalQueryReply (router scatter-gather RPC)
 //
 // A batched ingest body applies atomically as one backend call — one
 // dataset append, one graph splice, one similarity sync — instead of N
@@ -629,6 +653,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /internal/shard", s.handleInternalShard)
+	mux.HandleFunc("POST /internal/query", s.handleInternalQuery)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})

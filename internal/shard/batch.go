@@ -160,7 +160,7 @@ func (w *World) queryBatchFanOut(users []int, k, workers int, out [][]Candidate)
 					for si := range all {
 						parts[si] = all[si][qi]
 					}
-					out[j.lo+qi] = mergeTopK(parts, k)
+					out[j.lo+qi] = MergeTopK(parts, k)
 				}
 			}
 		}()

@@ -315,7 +315,7 @@ spawn:
 	}
 	scan()
 	wg.Wait()
-	return mergeTopK(parts, k)
+	return MergeTopK(parts, k)
 }
 
 // queryInline is QueryUser with the shard scan run sequentially on the
@@ -330,14 +330,17 @@ func (w *World) queryInline(u, k int) []Candidate {
 	for i, sh := range w.shards {
 		parts[i] = w.shardTopK(sh, u, k)
 	}
-	return mergeTopK(parts, k)
+	return MergeTopK(parts, k)
 }
 
-// mergeTopK merges per-shard top-k lists into the global top-k under the
-// global selection order. Exact: every global top-k candidate appears in
-// its own shard's top-k, so sorting the union and truncating loses
-// nothing.
-func mergeTopK(parts [][]Candidate, k int) []Candidate {
+// MergeTopK merges per-shard top-k lists into the global top-k under the
+// global selection order (score descending, id ascending). Exact: every
+// global top-k candidate appears in its own shard's top-k, so sorting the
+// union and truncating loses nothing. Exported as the single merge-order
+// source for out-of-process scatter-gather: the distributed router merges
+// shard-server replies through this exact function, which is what makes
+// its results bit-identical to the in-process fan-out.
+func MergeTopK(parts [][]Candidate, k int) []Candidate {
 	total := 0
 	for _, p := range parts {
 		total += len(p)

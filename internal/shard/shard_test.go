@@ -118,7 +118,7 @@ func TestMergeTieBreaking(t *testing.T) {
 		{{User: 2, Score: 1.0}, {User: 3, Score: 0.5}},
 		{{User: 11, Score: 2.0}},
 	}
-	got := mergeTopK(parts, 4)
+	got := MergeTopK(parts, 4)
 	want := []Candidate{{11, 2.0}, {2, 1.0}, {7, 1.0}, {3, 0.5}}
 	if len(got) != len(want) {
 		t.Fatalf("merge = %v, want %v", got, want)
@@ -128,7 +128,7 @@ func TestMergeTieBreaking(t *testing.T) {
 			t.Fatalf("merge[%d] = %+v, want %+v", i, got[i], want[i])
 		}
 	}
-	if trunc := mergeTopK(parts, 99); len(trunc) != 5 {
+	if trunc := MergeTopK(parts, 99); len(trunc) != 5 {
 		t.Fatalf("k beyond union returned %d candidates, want 5", len(trunc))
 	}
 }

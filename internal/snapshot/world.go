@@ -58,11 +58,37 @@ const (
 	secShardIndex uint32 = 50
 )
 
+// SliceMeta identifies a snapshot that carries one shard's slice of a
+// larger world: shard Shard of Shards, covering the global auxiliary id
+// range [Lo, Hi) out of AuxTotal users. A shard server booting from the
+// slice maps only its own partition; the distributed router uses the
+// identity to validate that the server behind a URL really serves the
+// shard it is configured for, and Lo is the offset that rebases the
+// slice's local candidate ids back to global ones.
+type SliceMeta struct {
+	// Shard and Shards place this slice in the partition: slice Shard of
+	// Shards, numbered in global id order.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Lo and Hi bound the slice's global auxiliary id range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// AuxTotal is the full world's auxiliary population (the sum of every
+	// slice's window).
+	AuxTotal int `json:"aux_total"`
+}
+
 // Meta is the snapshot's small JSON-encoded configuration document: the
 // values that pin how the numeric sections must be reassembled.
 type Meta struct {
 	// Shards is the auxiliary partition count the world was prepared with.
 	Shards int `json:"shards"`
+	// Slice, when non-nil, marks this snapshot as one shard's slice of a
+	// larger world (see SliceForShard). A slice always has Shards == 1:
+	// the shard process runs its window as a single in-process partition.
+	// A JSON field addition: older full-world files load with Slice nil,
+	// no format version bump.
+	Slice *SliceMeta `json:"slice,omitempty"`
 	// Prune records whether the world ran candidate-pruned queries; when
 	// true the file carries Shards secShardIndex sections and the two
 	// Prune* fields echo the indexes' resolved build configuration.

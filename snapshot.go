@@ -20,6 +20,7 @@ import (
 	"dehealth/internal/features"
 	"dehealth/internal/graph"
 	"dehealth/internal/index"
+	"dehealth/internal/shard"
 	"dehealth/internal/similarity"
 	"dehealth/internal/snapshot"
 	"dehealth/internal/stylometry"
@@ -39,6 +40,9 @@ var (
 	// ErrSnapshotCorrupt marks a structurally invalid snapshot: checksum
 	// mismatch, malformed sections, or content that fails validation.
 	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+	// ErrAlreadySlice marks an attempt to cut per-shard slices from a world
+	// that was itself loaded from a slice.
+	ErrAlreadySlice = snapshot.ErrAlreadySlice
 )
 
 // Snapshot writes the prepared world to path in the versioned snapshot
@@ -53,7 +57,16 @@ var (
 func (w *PreparedWorld) Snapshot(path string) error {
 	w.world.RLock()
 	defer w.world.RUnlock()
+	sw, err := w.snapshotWorld()
+	if err != nil {
+		return err
+	}
+	return snapshot.Save(path, sw)
+}
 
+// snapshotWorld builds the typed snapshot content of the world; the caller
+// holds the world read lock.
+func (w *PreparedWorld) snapshotWorld() (*snapshot.World, error) {
 	cfg := w.prepOpt.normalized().simConfig()
 	p := w.pipeline(cfg) // materializes scorer caches (and indexes when pruned)
 
@@ -70,12 +83,17 @@ func (w *PreparedWorld) Snapshot(path string) error {
 			Bigrams:   w.anonStore.Extractor.Bigrams(),
 		},
 	}
+	if s := w.slice; s != nil {
+		// A slice-loaded world stays a slice across snapshot cycles (a
+		// shard server's shutdown snapshot must not forget its window).
+		sw.Meta.Slice = &snapshot.SliceMeta{Shard: s.Shard, Shards: s.Shards, Lo: s.Lo, Hi: s.Hi, AuxTotal: s.AuxTotal}
+	}
 	var err error
 	if sw.Anon, err = sideParts(w.Anon, w.anonStore, p.G1); err != nil {
-		return err
+		return nil, err
 	}
 	if sw.Aux, err = sideParts(w.Aux, w.auxStore, p.G2); err != nil {
-		return err
+		return nil, err
 	}
 	sp := p.Scorer.Parts()
 	sw.Scorer = snapshot.ScorerState{
@@ -94,7 +112,7 @@ func (w *PreparedWorld) Snapshot(path string) error {
 		var frac float64
 		for _, sh := range p.ShardWindows() {
 			if sh.Index == nil {
-				return fmt.Errorf("dehealth: indexed world shard [%d, %d) has no index to snapshot", sh.Lo, sh.Hi)
+				return nil, fmt.Errorf("dehealth: indexed world shard [%d, %d) has no index to snapshot", sh.Lo, sh.Hi)
 			}
 			ip := sh.Index.Parts()
 			bc := sh.Index.BuildConfig()
@@ -114,7 +132,65 @@ func (w *PreparedWorld) Snapshot(path string) error {
 		sw.Meta.PruneBands = bands
 		sw.Meta.PruneMaxCandidateFrac = frac
 	}
-	return snapshot.Save(path, sw)
+	return sw, nil
+}
+
+// SliceInfo identifies the partition a slice-loaded world serves: shard
+// Shard of Shards, covering the global auxiliary id range [Lo, Hi) out of
+// AuxTotal users. The serving layer uses it to advertise the shard's
+// identity and to rebase local candidate ids (+Lo) to global ones.
+type SliceInfo struct {
+	Shard    int `json:"shard"`
+	Shards   int `json:"shards"`
+	Lo       int `json:"lo"`
+	Hi       int `json:"hi"`
+	AuxTotal int `json:"aux_total"`
+}
+
+// SliceInfo reports the shard identity of a world loaded from a per-shard
+// snapshot slice, and ok=false for an ordinary full world.
+func (w *PreparedWorld) SliceInfo() (SliceInfo, bool) {
+	if w.slice == nil {
+		return SliceInfo{}, false
+	}
+	return *w.slice, true
+}
+
+// SnapshotSlices writes the world as n per-shard snapshot slices, one file
+// per prepare-time shard (n = Options.Shards), named
+// "<prefix>.slice-<i>-of-<n>.snap". Each slice is a self-contained
+// snapshot a shard server boots from with LoadWorld, mapping only its own
+// auxiliary partition (plus the shared anonymized side); the loaded
+// world's SliceInfo reports the window, and a distributed router
+// scatter-gathering over all n slice servers merges their answers
+// bit-identically to this world's own fan-out. Slicing a slice-loaded
+// world fails with ErrAlreadySlice. Returns the written paths in shard
+// order.
+func (w *PreparedWorld) SnapshotSlices(prefix string) ([]string, error) {
+	w.world.RLock()
+	defer w.world.RUnlock()
+	if w.slice != nil {
+		return nil, fmt.Errorf("dehealth: %w", ErrAlreadySlice)
+	}
+	sw, err := w.snapshotWorld()
+	if err != nil {
+		return nil, err
+	}
+	bounds := shard.Bounds(len(w.Aux.Users), w.shards)
+	n := len(bounds) - 1 // Bounds clamps n to the population
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		sl, err := snapshot.SliceForShard(sw, i, bounds)
+		if err != nil {
+			return nil, err
+		}
+		path := fmt.Sprintf("%s.slice-%d-of-%d.snap", prefix, i, n)
+		if err := snapshot.Save(path, sl); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
 }
 
 // sideParts gathers one dataset side's snapshot sections: the dataset
@@ -299,6 +375,18 @@ func LoadWorld(path string, opt LoadOptions) (*PreparedWorld, error) {
 		Prune:     meta.Prune,
 		Approx:    ApproxConfig{Enabled: meta.Approx},
 	}
+	var slice *SliceInfo
+	if s := meta.Slice; s != nil {
+		if meta.Shards != 1 {
+			return nil, fmt.Errorf("%w: slice snapshot with shard count %d", snapshot.ErrCorrupt, meta.Shards)
+		}
+		if s.Lo < 0 || s.Hi < s.Lo || s.Hi > s.AuxTotal || s.Hi-s.Lo != len(auxData.Users) ||
+			s.Shard < 0 || s.Shard >= s.Shards {
+			return nil, fmt.Errorf("%w: slice window [%d, %d) of %d (shard %d of %d) over %d users",
+				snapshot.ErrCorrupt, s.Lo, s.Hi, s.AuxTotal, s.Shard, s.Shards, len(auxData.Users))
+		}
+		slice = &SliceInfo{Shard: s.Shard, Shards: s.Shards, Lo: s.Lo, Hi: s.Hi, AuxTotal: s.AuxTotal}
+	}
 	return &PreparedWorld{
 		Anon: anonData, Aux: auxData,
 		anonStore: anonStore, auxStore: auxStore,
@@ -306,6 +394,7 @@ func LoadWorld(path string, opt LoadOptions) (*PreparedWorld, error) {
 		prepOpt:     prepOpt,
 		pruneStats:  stats,
 		approxStats: astats,
+		slice:       slice,
 		pipelines:   map[similarity.Config]*core.Pipeline{cfg: p},
 	}, nil
 }
