@@ -246,6 +246,7 @@ func TestStatsApproxBlock(t *testing.T) {
 			Queries       int64 `json:"queries"`
 			CursorsOpened int64 `json:"cursors_opened"`
 			Rescored      int64 `json:"rescored"`
+			BlocksChecked int64 `json:"blocks_checked"`
 		} `json:"approx"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
@@ -260,6 +261,9 @@ func TestStatsApproxBlock(t *testing.T) {
 	// prepared with it enabled.
 	if want := int64(2); stats.Approx.Queries != want {
 		t.Fatalf("approx queries = %d, want %d (plain wire query must stay exact)", stats.Approx.Queries, want)
+	}
+	if stats.Approx.BlocksChecked == 0 {
+		t.Fatalf("approx stats must carry block-max counters: %+v", stats.Approx)
 	}
 
 	// A world without the tier omits the block entirely.

@@ -582,12 +582,12 @@ func BenchmarkQueryUserPruned(b *testing.B) {
 // the two regimes of BenchmarkQueryUserPruned: the sparse-overlap world
 // where exact pruning already wins, and the dense single-community world
 // where exact pruning floors at a full rescore — the regime the tier
-// exists for. Theta is swept on the dense world and recall@10 against the
-// exact top-10 is computed off the timer for every mode, so the artifact
-// reports speedup and recall side by side; the degenerate configuration
-// (Theta 1, unbounded budget) is asserted bit-identical to the exact scan
-// before any timing, so BENCH_recall.json can never claim an exactness it
-// does not have.
+// exists for. Theta and the rescore budget are swept on the dense world
+// and recall@10 against the exact top-10 is computed off the timer for
+// every mode, so the artifact reports speedup and recall side by side;
+// the degenerate configuration (Theta 1, unbounded budget) is asserted
+// bit-identical to the exact scan before any timing, so BENCH_recall.json
+// can never claim an exactness it does not have.
 func BenchmarkQueryUserApprox(b *testing.B) {
 	const (
 		anonUsers = 150
@@ -681,11 +681,29 @@ func BenchmarkQueryUserApprox(b *testing.B) {
 	runMode("sparse-full-scan", func(i int) { sparse.full.QueryUser(i%anonUsers, k) })
 	runMode("sparse-approx-exact", func(i int) { sparse.approx.QueryUserApprox(i%anonUsers, k, index.ApproxParams{}) })
 
-	thetas := []float64{1.0, 1.2, 1.3, 1.4, 1.5, 2.0}
+	// The dense sweep covers both knobs: theta alone (skip mass below the
+	// bar) and theta x budget (bound-ordered rescore pool) — the budget
+	// modes are where the block-max machinery pays, because the pool bar
+	// rises with the best bounds seen instead of waiting for theta.
+	type denseMode struct {
+		theta  float64
+		budget int
+	}
+	denseModes := []denseMode{
+		{1.0, 0}, {1.2, 0}, {1.3, 0}, {1.4, 0}, {1.5, 0}, {2.0, 0},
+		{1.0, 100}, {1.0, 200}, {1.2, 100}, {1.3, 100},
+		{1.4, 100}, {1.5, 100}, {2.0, 100}, {1.5, 200}, {2.0, 200},
+	}
+	modeName := func(m denseMode) string {
+		if m.budget > 0 {
+			return fmt.Sprintf("dense-approx-theta-%.1f-budget-%d", m.theta, m.budget)
+		}
+		return fmt.Sprintf("dense-approx-theta-%.1f", m.theta)
+	}
 	runMode("dense-full-scan", func(i int) { dense.full.QueryUser(i%anonUsers, k) })
-	for _, theta := range thetas {
-		ap := index.ApproxParams{Theta: theta}
-		name := fmt.Sprintf("dense-approx-theta-%.1f", theta)
+	for _, m := range denseModes {
+		ap := index.ApproxParams{Theta: m.theta, Budget: m.budget}
+		name := modeName(m)
 		recalls[name] = recallAt10(dense, ap)
 		runMode(name, func(i int) { dense.approx.QueryUserApprox(i%anonUsers, k, ap) })
 	}
@@ -699,8 +717,8 @@ func BenchmarkQueryUserApprox(b *testing.B) {
 	// The headline number: the fastest dense mode that still clears
 	// recall@10 >= 0.95, against the exact dense full scan.
 	bestDense := ""
-	for _, theta := range thetas {
-		name := fmt.Sprintf("dense-approx-theta-%.1f", theta)
+	for _, m := range denseModes {
+		name := modeName(m)
 		if recalls[name] >= 0.95 && (bestDense == "" || qps[name] > qps[bestDense]) {
 			bestDense = name
 		}
@@ -710,11 +728,12 @@ func BenchmarkQueryUserApprox(b *testing.B) {
 		denseSpeedup = speedup(bestDense, "dense-full-scan")
 	}
 
-	thetaRows := make([]map[string]any, 0, len(thetas))
-	for _, theta := range thetas {
-		name := fmt.Sprintf("dense-approx-theta-%.1f", theta)
+	thetaRows := make([]map[string]any, 0, len(denseModes))
+	for _, m := range denseModes {
+		name := modeName(m)
 		thetaRows = append(thetaRows, map[string]any{
-			"theta":     theta,
+			"theta":     m.theta,
+			"budget":    m.budget,
 			"qps":       qps[name],
 			"recall_10": recalls[name],
 			"speedup":   speedup(name, "dense-full-scan"),
@@ -745,6 +764,12 @@ func BenchmarkQueryUserApprox(b *testing.B) {
 			"dense_postings_skipped":  dense.stats.Snapshot().PostingsSkipped,
 			"sparse_rescored":         sparse.stats.Snapshot().Rescored,
 			"dense_rescored":          dense.stats.Snapshot().Rescored,
+			"sparse_blocks_checked":   sparse.stats.Snapshot().BlocksChecked,
+			"sparse_blocks_skipped":   sparse.stats.Snapshot().BlocksSkipped,
+			"dense_blocks_checked":    dense.stats.Snapshot().BlocksChecked,
+			"dense_blocks_skipped":    dense.stats.Snapshot().BlocksSkipped,
+			"sparse_cursors_demoted":  sparse.stats.Snapshot().CursorsDemoted,
+			"dense_cursors_demoted":   dense.stats.Snapshot().CursorsDemoted,
 		},
 		"baseline": "full-scan is the per-shard bounded-heap scan over every aux user; approx generates candidates with max-score/WAND posting cursors and exact-rescores survivors — degenerate knobs asserted bit-identical inline, aggressive knobs measured against exact recall@10",
 	}

@@ -17,7 +17,7 @@
 //	dehealthd -aux aux.json -anon anon.json          # preload known anonymized accounts
 //	dehealthd -synth 300                             # demo mode: synthetic auxiliary world
 //	dehealthd -addr :8700 -workers 8 -batch 64 -flush-ms 2 -shards 8 -prune
-//	dehealthd -synth 300 -approx -approx-theta 0.6     # approximate tier, per-query opt-in
+//	dehealthd -synth 300 -approx -approx-theta 1.3     # approximate tier, per-query opt-in
 //	dehealthd -synth 300 -snapshot world.snap        # warm restart: load if present, write on shutdown
 //	dehealthd -snapshot world.snap -no-mmap          # warm restart with the copying loader
 //	dehealthd -synth 300 -pprof localhost:6060        # profiling listener
@@ -67,7 +67,7 @@ func main() {
 		shards       = flag.Int("shards", 1, "partition-parallel auxiliary scoring shards (0 = one per CPU)")
 		prune        = flag.Bool("prune", false, "candidate-pruned queries via per-shard attribute inverted indexes (results identical; see /v1/stats prune counters)")
 		approx       = flag.Bool("approx", false, "enable the approximate retrieval tier: max-score/WAND posting cursors with exact rescore (per-query opt-in via the \"approx\" knob; see /v1/stats approx counters)")
-		approxTheta  = flag.Float64("approx-theta", 0, "approx threshold scale in (0, 1]; 0 or 1 keeps the tier exact-equivalent, smaller values skip more aggressively")
+		approxTheta  = flag.Float64("approx-theta", 0, "approx skip-threshold scale; 0 or 1 keeps the tier exact-equivalent, values above 1 (e.g. 1.3) skip more aggressively and trade recall for speed")
 		approxBudget = flag.Int("approx-budget", 0, "approx cap on exact rescores per shard-query (0 = unbounded)")
 		batch        = flag.Int("batch", 32, "micro-batch size: pending requests flush at this count")
 		flushMS      = flag.Int("flush-ms", 2, "micro-batch flush deadline in milliseconds")

@@ -602,9 +602,19 @@ type ApproxStats struct {
 	// Rescored sums the surviving candidates exact-rescored by the flat
 	// kernel.
 	Rescored int64
-	// BudgetExhausted counts shard queries stopped early by
-	// ApproxConfig.Budget.
+	// BudgetExhausted counts shard queries whose finite ApproxConfig.Budget
+	// dropped at least one surviving candidate from the bound-ordered
+	// pending pool.
 	BudgetExhausted int64
+	// BlocksChecked counts block-max evaluations: pivot candidates
+	// re-checked against their id-range block's structural bound.
+	BlocksChecked int64
+	// BlocksSkipped counts block-max evaluations that certified skipping
+	// the pivot's whole id range.
+	BlocksSkipped int64
+	// CursorsDemoted counts posting cursors folded out of walks as
+	// non-essential once the running threshold outgrew their bound mass.
+	CursorsDemoted int64
 }
 
 // ApproxStats snapshots the world's approximate-tier counters; the zero
@@ -623,6 +633,9 @@ func (w *PreparedWorld) ApproxStats() ApproxStats {
 		PostingsSkipped: s.PostingsSkipped,
 		Rescored:        s.Rescored,
 		BudgetExhausted: s.BudgetExhausted,
+		BlocksChecked:   s.BlocksChecked,
+		BlocksSkipped:   s.BlocksSkipped,
+		CursorsDemoted:  s.CursorsDemoted,
 	}
 }
 
@@ -836,6 +849,9 @@ func (b serveBackend) ApproxCounters() (serve.ApproxCounters, bool) {
 		PostingsSkipped: s.PostingsSkipped,
 		Rescored:        s.Rescored,
 		BudgetExhausted: s.BudgetExhausted,
+		BlocksChecked:   s.BlocksChecked,
+		BlocksSkipped:   s.BlocksSkipped,
+		CursorsDemoted:  s.CursorsDemoted,
 	}, s.Enabled
 }
 

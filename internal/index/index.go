@@ -57,6 +57,14 @@ type Config struct {
 	// ranges (better skipping) at a slightly higher per-query check cost.
 	// Default 16.
 	Bands int
+	// BlockSize is the width of the id-range structural blocks behind the
+	// block-max (BMW) check of the approximate tier's cursor walk: block b
+	// summarizes the degree and vector-norm ranges of window-local ids
+	// [b*BlockSize, (b+1)*BlockSize), so the walk can bound — and skip —
+	// a whole id range with one cached ScoreBoundBand call. Smaller blocks
+	// give tighter per-range bounds at more block-bound evaluations.
+	// Default 128.
+	BlockSize int
 }
 
 // WithDefaults resolves zero fields to the default configuration.
@@ -66,6 +74,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Bands <= 0 {
 		c.Bands = 16
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 128
 	}
 	return c
 }
@@ -117,6 +128,28 @@ type Band struct {
 	WclNormLo, WclNormHi float64
 }
 
+// Block summarizes one fixed-width range of consecutive window-local ids
+// for the block-max (BMW) check: block b covers ids
+// [b*BlockSize, (b+1)*BlockSize) and the ranges bound every covered id's
+// degree, weighted degree and vector norms — the same shape as a Band's
+// bounds, but keyed by id range instead of degree rank. Because posting
+// lists are ascending id sequences, one Block bounds the structural score
+// of every document a cursor can produce inside the range, which is what
+// lets the walk skip to the next block boundary without touching entries.
+type Block struct {
+	// DegLo and DegHi bound the covered ids' degrees.
+	DegLo, DegHi float64
+	// WdegLo and WdegHi bound the covered ids' weighted degrees.
+	WdegLo, WdegHi float64
+	// NCSNormLo and NCSNormHi bound the covered ids' NCS vector L2 norms;
+	// [0, +Inf] when the build source carried no norms.
+	NCSNormLo, NCSNormHi float64
+	// CloseNormLo and CloseNormHi bound the hop-closeness vector norms.
+	CloseNormLo, CloseNormHi float64
+	// WclNormLo and WclNormHi bound the weighted-closeness vector norms.
+	WclNormLo, WclNormHi float64
+}
+
 // Index is the frozen per-window pruning structure: attribute postings
 // and degree bands. Safe for concurrent queries.
 type Index struct {
@@ -125,6 +158,8 @@ type Index struct {
 	postings [][]int32 // postings[attr] = ascending window-local ids with attr
 	bands    []Band
 	bandOf   []int32 // bandOf[u] = index into bands of u's band
+	blkSize  int     // id-range width of blocks; 0 = no block metadata
+	blocks   []Block // blocks[b] covers ids [b*blkSize, (b+1)*blkSize)
 	scratch  sync.Pool
 }
 
@@ -176,6 +211,7 @@ func Build(src Source, cfg Config) *Index {
 		nb = 1
 	}
 	if n == 0 {
+		x.BuildBlocks(src, cfg.BlockSize)
 		return x
 	}
 	norms, _ := src.(NormSource)
@@ -215,8 +251,63 @@ func Build(src Source, cfg Config) *Index {
 			x.bandOf[id] = int32(bi)
 		}
 	}
+	x.BuildBlocks(src, cfg.BlockSize)
 	return x
 }
+
+// BuildBlocks (re)computes the id-range block metadata from src at the
+// given block width (<= 0 resolves to the default). Build calls it with
+// the configured width; it is also the restore path for snapshots written
+// before the block-max format (v1), whose indexes carry no block sections
+// — the caller rebuilds them from the restored scorer window. Not safe
+// concurrently with queries: install blocks before serving.
+func (x *Index) BuildBlocks(src Source, blockSize int) {
+	if blockSize <= 0 {
+		blockSize = Config{BlockSize: blockSize}.WithDefaults().BlockSize
+	}
+	x.cfg.BlockSize = blockSize
+	x.blkSize = blockSize
+	nb := (x.n + blockSize - 1) / blockSize
+	x.blocks = make([]Block, nb)
+	norms, _ := src.(NormSource)
+	for b := 0; b < nb; b++ {
+		lo, hi := b*blockSize, (b+1)*blockSize
+		if hi > x.n {
+			hi = x.n
+		}
+		blk := Block{
+			DegLo: src.Degree(lo), DegHi: src.Degree(lo),
+			WdegLo: src.WeightedDegree(lo), WdegHi: src.WeightedDegree(lo),
+		}
+		if norms != nil {
+			blk.NCSNormLo, blk.NCSNormHi = norms.NCSNorm(lo), norms.NCSNorm(lo)
+			blk.CloseNormLo, blk.CloseNormHi = norms.CloseNorm(lo), norms.CloseNorm(lo)
+			blk.WclNormLo, blk.WclNormHi = norms.WclNorm(lo), norms.WclNorm(lo)
+		} else {
+			inf := math.Inf(1)
+			blk.NCSNormHi, blk.CloseNormHi, blk.WclNormHi = inf, inf, inf
+		}
+		for u := lo + 1; u < hi; u++ {
+			foldRange(&blk.DegLo, &blk.DegHi, src.Degree(u))
+			foldRange(&blk.WdegLo, &blk.WdegHi, src.WeightedDegree(u))
+			if norms != nil {
+				foldRange(&blk.NCSNormLo, &blk.NCSNormHi, norms.NCSNorm(u))
+				foldRange(&blk.CloseNormLo, &blk.CloseNormHi, norms.CloseNorm(u))
+				foldRange(&blk.WclNormLo, &blk.WclNormHi, norms.WclNorm(u))
+			}
+		}
+		x.blocks[b] = blk
+	}
+}
+
+// BlockSize returns the id-range width of the block metadata, 0 when the
+// index carries none (a pre-v2 snapshot restore before BuildBlocks).
+func (x *Index) BlockSize() int { return x.blkSize }
+
+// Blocks returns the id-range structural blocks (shared; treat as
+// read-only): Blocks()[b] covers window-local ids
+// [b*BlockSize, (b+1)*BlockSize).
+func (x *Index) Blocks() []Block { return x.blocks }
 
 // Scratch is reusable per-query marking state: an epoch-stamped candidate
 // marker (no O(window) zeroing between queries), the per-band candidate

@@ -25,6 +25,13 @@ type Parts struct {
 	BandOff          []int   // len = numBands+1; band b's IDs = BandIDs[BandOff[b]:BandOff[b+1]]
 	BandMeta         []float64
 	BandIDs          []int32
+	// BlockSize and BlockMeta carry the id-range block-max metadata:
+	// ceil(N/BlockSize) blocks of bandMetaWidth float64 bounds each, in
+	// the same field order as BandMeta. BlockSize 0 (a pre-block snapshot)
+	// means no block metadata; the loader rebuilds it from the restored
+	// scorer window via BuildBlocks.
+	BlockSize int
+	BlockMeta []float64
 }
 
 // bandMetaWidth is the number of bound values per band in Parts.BandMeta.
@@ -54,6 +61,14 @@ func (x *Index) Parts() Parts {
 			band.NCSNormLo, band.NCSNormHi, band.CloseNormLo, band.CloseNormHi,
 			band.WclNormLo, band.WclNormHi)
 	}
+	p.BlockSize = x.blkSize
+	p.BlockMeta = make([]float64, 0, len(x.blocks)*bandMetaWidth)
+	for _, blk := range x.blocks {
+		p.BlockMeta = append(p.BlockMeta,
+			blk.DegLo, blk.DegHi, blk.WdegLo, blk.WdegHi,
+			blk.NCSNormLo, blk.NCSNormHi, blk.CloseNormLo, blk.CloseNormHi,
+			blk.WclNormLo, blk.WclNormHi)
+	}
 	if p.BandOf == nil {
 		p.BandOf = []int32{}
 	}
@@ -81,12 +96,40 @@ func FromParts(p Parts) (*Index, error) {
 	if len(p.BandMeta) != numBands*bandMetaWidth {
 		return nil, fmt.Errorf("index: %d band bound values for %d bands", len(p.BandMeta), numBands)
 	}
+	if p.BlockSize < 0 {
+		return nil, fmt.Errorf("index: negative block size %d", p.BlockSize)
+	}
+	numBlocks := 0
+	if p.BlockSize > 0 {
+		numBlocks = (p.N + p.BlockSize - 1) / p.BlockSize
+	}
+	if len(p.BlockMeta) != numBlocks*bandMetaWidth {
+		return nil, fmt.Errorf("index: %d block bound values for %d blocks of %d ids", len(p.BlockMeta), numBlocks, p.BlockSize)
+	}
 	x := &Index{
 		n:        p.N,
-		cfg:      Config{MaxCandidateFrac: p.MaxCandidateFrac, Bands: p.Bands}.WithDefaults(),
+		cfg:      Config{MaxCandidateFrac: p.MaxCandidateFrac, Bands: p.Bands, BlockSize: p.BlockSize}.WithDefaults(),
 		postings: make([][]int32, numAttrs),
 		bands:    make([]Band, numBands),
 		bandOf:   p.BandOf,
+		blkSize:  p.BlockSize,
+	}
+	if numBlocks > 0 {
+		x.blocks = make([]Block, numBlocks)
+		for b := 0; b < numBlocks; b++ {
+			m := p.BlockMeta[b*bandMetaWidth:]
+			for _, v := range m[:bandMetaWidth] {
+				if math.IsNaN(v) {
+					return nil, fmt.Errorf("index: NaN bound in block %d", b)
+				}
+			}
+			x.blocks[b] = Block{
+				DegLo: m[0], DegHi: m[1], WdegLo: m[2], WdegHi: m[3],
+				NCSNormLo: m[4], NCSNormHi: m[5],
+				CloseNormLo: m[6], CloseNormHi: m[7],
+				WclNormLo: m[8], WclNormHi: m[9],
+			}
+		}
 	}
 	for a := 0; a < numAttrs; a++ {
 		lo, hi := p.PostOff[a], p.PostOff[a+1]

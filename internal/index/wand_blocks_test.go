@@ -1,0 +1,345 @@
+// Tests for the walk's two refinements: the block-max check (SetBlocks)
+// and essential-list demotion. The reference model gives every document a
+// true structural value sv[d] <= base; a block's bound is the max sv over
+// its id range (admissible by construction), the global base is admissible
+// for everything, and a document's true bound sum is sv[d] plus the bounds
+// of every list containing it. The block walk must return a subset of the
+// plain walk (its bounds are tighter), a superset of the documents whose
+// true bound sum beats theta (its bounds are admissible), and keep the
+// posting-conservation accounting exact.
+
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blockBounds computes the reference per-block structural bounds: the max
+// of sv over each id range of size bs.
+func blockBounds(sv []float64, bs int) []float64 {
+	nb := (len(sv) + bs - 1) / bs
+	out := make([]float64, nb)
+	for b := range out {
+		lo, hi := b*bs, (b+1)*bs
+		if hi > len(sv) {
+			hi = len(sv)
+		}
+		m := math.Inf(-1)
+		for _, v := range sv[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		out[b] = m
+	}
+	return out
+}
+
+// trueSums is boundSums with a per-document structural value instead of
+// the shared base: the tightest admissible bound the test model defines.
+func trueSums(lists [][]int32, ubs []float64, sv []float64) []float64 {
+	sums := make([]float64, len(sv))
+	copy(sums, sv)
+	for i, post := range lists {
+		for _, d := range post {
+			sums[d] += ubs[i]
+		}
+	}
+	return sums
+}
+
+// newBlockCursors builds a cursor set with blocks installed over the
+// reference bounds.
+func newBlockCursors(lists [][]int32, ubs []float64, base float64, bb []float64, bs int) *Cursors {
+	c := NewCursors(base)
+	for i, post := range lists {
+		c.Add(post, ubs[i])
+	}
+	c.SetBlocks(bs, func(b int) float64 { return bb[b] })
+	return c
+}
+
+// checkBlockWalk verifies one fixed-threshold block walk against the
+// plain walk and the true per-document bounds.
+func checkBlockWalk(t *testing.T, lists [][]int32, ubs []float64, base float64, sv []float64, bs int, theta float64) {
+	t.Helper()
+	n := len(sv)
+	total := 0
+	member := make([]int, n)
+	for _, post := range lists {
+		total += len(post)
+		for _, d := range post {
+			member[d]++
+		}
+	}
+
+	plainCur := NewCursors(base)
+	for i, post := range lists {
+		plainCur.Add(post, ubs[i])
+	}
+	plain := drain(plainCur, theta)
+
+	bb := blockBounds(sv, bs)
+	cur := newBlockCursors(lists, ubs, base, bb, bs)
+	var got []int32
+	for {
+		d, ok := cur.Next(theta)
+		if !ok {
+			break
+		}
+		// The emitted document's reported bound must be admissible (at
+		// least the true bound) and above theta.
+		eps := 1e-9 * math.Max(1, math.Abs(theta))
+		if cb := cur.CandidateBound(); cb <= theta-eps {
+			t.Fatalf("id %d emitted with CandidateBound %v <= theta %v", d, cb, theta)
+		}
+		got = append(got, d)
+	}
+
+	eps := 1e-9 * math.Max(1, math.Abs(theta))
+	truth := trueSums(lists, ubs, sv)
+	inPlain := make(map[int32]bool, len(plain))
+	for _, d := range plain {
+		inPlain[d] = true
+	}
+	returned := make([]bool, n)
+	consumed := int64(0)
+	for i, d := range got {
+		if i > 0 && d <= got[i-1] {
+			t.Fatalf("block walk ids not strictly ascending: %d then %d", got[i-1], d)
+		}
+		if !inPlain[d] {
+			t.Fatalf("block walk returned id %d the plain walk did not (blocks can only skip more)", d)
+		}
+		// Emission demands the walk's own bound — min(base, block) plus
+		// covering list bounds — to beat theta.
+		wb := math.Min(base, bb[int(d)/bs]) + truth[d] - sv[int(d)]
+		if wb <= theta-eps {
+			t.Fatalf("id %d returned with block bound sum %v <= theta %v", d, wb, theta)
+		}
+		returned[d] = true
+		consumed += int64(member[d])
+	}
+	for d := range truth {
+		if member[d] > 0 && truth[d] > theta+eps && !returned[d] {
+			t.Fatalf("id %d (true bound sum %v > theta %v) was skipped by the block walk", d, truth[d], theta)
+		}
+	}
+	if cur.Skipped()+consumed != int64(total) {
+		t.Fatalf("theta %v bs %d: skipped %d + consumed %d != total %d", theta, bs, cur.Skipped(), consumed, total)
+	}
+	if cur.BlocksSkipped() > cur.BlocksChecked() {
+		t.Fatalf("BlocksSkipped %d > BlocksChecked %d", cur.BlocksSkipped(), cur.BlocksChecked())
+	}
+}
+
+// TestCursorsBlocksDegenerate pins the no-information case: block bounds
+// equal to the global base must leave the walk bit-identical to the plain
+// one — same documents, same order, same skip accounting — because the
+// block check can then never beat the pivot condition that emitted the
+// candidate.
+func TestCursorsBlocksDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 40 + rng.Intn(160)
+		lists := genPostings(rng, 1+rng.Intn(6), n, 0.05+0.4*rng.Float64())
+		ubs := make([]float64, len(lists))
+		for i := range ubs {
+			ubs[i] = rng.Float64()
+		}
+		base := rng.Float64()
+		theta := base + float64(len(lists))*rng.Float64()
+
+		plainCur := NewCursors(base)
+		for i, post := range lists {
+			plainCur.Add(post, ubs[i])
+		}
+		plain := drain(plainCur, theta)
+
+		bs := 1 + rng.Intn(64)
+		flat := make([]float64, (n+bs-1)/bs)
+		for i := range flat {
+			flat[i] = base
+		}
+		cur := newBlockCursors(lists, ubs, base, flat, bs)
+		got := drain(cur, theta)
+
+		if len(got) != len(plain) {
+			t.Fatalf("trial %d: degenerate block walk returned %d ids, plain %d", trial, len(got), len(plain))
+		}
+		for i := range got {
+			if got[i] != plain[i] {
+				t.Fatalf("trial %d: degenerate block walk diverged at %d: %d vs %d", trial, i, got[i], plain[i])
+			}
+		}
+		if cur.Skipped() != plainCur.Skipped() {
+			t.Fatalf("trial %d: degenerate block walk skipped %d, plain %d", trial, cur.Skipped(), plainCur.Skipped())
+		}
+		if cur.BlocksSkipped() != 0 {
+			t.Fatalf("trial %d: base-valued block bounds certified %d skips", trial, cur.BlocksSkipped())
+		}
+	}
+}
+
+// TestCursorsBlocksTightened drives randomized sparse, dense and skewed
+// posting shapes with informative per-block bounds through the full
+// subset/superset/conservation check.
+func TestCursorsBlocksTightened(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	shapes := []struct {
+		name    string
+		nLists  int
+		density float64
+	}{
+		{"sparse", 6, 0.03},
+		{"dense", 4, 0.6},
+		{"skewed", 8, 0.15},
+	}
+	for _, shape := range shapes {
+		for trial := 0; trial < 15; trial++ {
+			n := 60 + rng.Intn(200)
+			lists := genPostings(rng, shape.nLists, n, shape.density)
+			ubs := make([]float64, len(lists))
+			for i := range ubs {
+				ubs[i] = rng.Float64()
+				if shape.name == "skewed" && i%2 == 0 {
+					ubs[i] *= 0.01 // most bound mass on half the lists
+				}
+			}
+			base := 0.2 + rng.Float64()
+			sv := make([]float64, n)
+			for d := range sv {
+				sv[d] = rng.Float64() * base
+			}
+			if shape.name == "skewed" {
+				// Id-correlated structure: early blocks carry the mass, so
+				// block bounds genuinely certify range skips.
+				for d := range sv {
+					sv[d] *= float64(n-d) / float64(n)
+				}
+			}
+			bs := 8 + rng.Intn(56)
+			for _, theta := range []float64{base * 0.5, base, base + 0.5, base + 1.5, math.Inf(-1)} {
+				checkBlockWalk(t, lists, ubs, base, sv, bs, theta)
+			}
+		}
+	}
+}
+
+// TestCursorsDemotionSkewed forces essential-list demotion — skewed bound
+// mass and a threshold high enough that low-bound lists cannot matter —
+// and checks the walk stays exact while actually demoting.
+func TestCursorsDemotionSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(150)
+		lists := genPostings(rng, 6, n, 0.3)
+		ubs := []float64{1.0, 0.9, 0.01, 0.02, 0.005, 0.03}[:len(lists)]
+		base := 0.5
+		theta := base + 0.95 // above base + every small ub, below base + big ubs
+
+		total := 0
+		for _, post := range lists {
+			total += len(post)
+		}
+		sums := boundSums(lists, ubs, base, n)
+		c := NewCursors(base)
+		for i, post := range lists {
+			c.Add(post, ubs[i])
+		}
+		got := drain(c, theta)
+		checkSurvivors(t, got, lists, sums, theta, total, c.Skipped())
+		if c.Demoted() == 0 {
+			t.Fatalf("trial %d: no cursor demoted at theta %v with skewed bounds %v", trial, theta, ubs)
+		}
+	}
+}
+
+// TestCursorsBlocksRisingThreshold runs the block walk under a monotone
+// rising bar — the real callers' regime — asserting the rising-threshold
+// guarantee against true bounds: any document whose true bound sum beats
+// the final bar must have been returned at some point.
+func TestCursorsBlocksRisingThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		n := 80 + rng.Intn(200)
+		lists := genPostings(rng, 5, n, 0.25)
+		ubs := make([]float64, len(lists))
+		for i := range ubs {
+			ubs[i] = rng.Float64()
+		}
+		base := 0.3 + rng.Float64()
+		sv := make([]float64, n)
+		for d := range sv {
+			sv[d] = rng.Float64() * base
+		}
+		bs := 16 + rng.Intn(48)
+		bb := blockBounds(sv, bs)
+		cur := newBlockCursors(lists, ubs, base, bb, bs)
+
+		theta := math.Inf(-1)
+		final := theta
+		returned := make([]bool, n)
+		for {
+			d, ok := cur.Next(theta)
+			if !ok {
+				break
+			}
+			returned[d] = true
+			// Ratchet the bar upward like a filling top-K heap would.
+			if bump := theta + 0.05 + 0.1*rng.Float64(); math.IsInf(theta, -1) {
+				theta = 0.1 * rng.Float64()
+			} else if bump < base+2 {
+				theta = bump
+			}
+			final = theta
+		}
+		truth := trueSums(lists, ubs, sv)
+		member := make([]int, n)
+		for _, post := range lists {
+			for _, d := range post {
+				member[d]++
+			}
+		}
+		eps := 1e-9 * math.Max(1, math.Abs(final))
+		for d := range truth {
+			if member[d] > 0 && truth[d] > final+eps && !returned[d] {
+				t.Fatalf("trial %d: id %d (true bound %v > final bar %v) never returned", trial, d, truth[d], final)
+			}
+		}
+	}
+}
+
+// FuzzCursorsBlockMax fuzzes the block walk across list count, density,
+// block size and threshold, re-running the full subset/superset/
+// conservation check of checkBlockWalk on every input.
+func FuzzCursorsBlockMax(f *testing.F) {
+	f.Add(int64(1), 4, 100, 64, 16, 100)
+	f.Add(int64(9), 8, 250, 200, 1, 30)
+	f.Add(int64(-3), 2, 60, 10, 128, 250)
+	f.Fuzz(func(t *testing.T, seed int64, nLists, n, density, bs, thetaPct int) {
+		if nLists < 1 || nLists > 12 || n < 1 || n > 400 {
+			t.Skip()
+		}
+		if bs < 1 || bs > 256 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(((density % 256) + 256) % 256)
+		lists := genPostings(rng, nLists, n, p/255)
+		ubs := make([]float64, nLists)
+		for i := range ubs {
+			ubs[i] = rng.Float64()
+		}
+		base := rng.Float64()
+		sv := make([]float64, n)
+		for d := range sv {
+			sv[d] = rng.Float64() * base
+		}
+		tp := float64(((thetaPct % 400) + 400) % 400)
+		theta := (base + float64(nLists)) * tp / 300
+		checkBlockWalk(t, lists, ubs, base, sv, bs, theta)
+	})
+}

@@ -90,6 +90,9 @@ type ApproxCounters struct {
 	PostingsSkipped int64 `json:"postings_skipped"`
 	Rescored        int64 `json:"rescored"`
 	BudgetExhausted int64 `json:"budget_exhausted"`
+	BlocksChecked   int64 `json:"blocks_checked"`
+	BlocksSkipped   int64 `json:"blocks_skipped"`
+	CursorsDemoted  int64 `json:"cursors_demoted"`
 }
 
 // ApproxStatser is the optional Backend extension for approximate-tier

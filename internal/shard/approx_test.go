@@ -263,6 +263,67 @@ func TestApproxStateCarriesThroughDerivations(t *testing.T) {
 	}
 }
 
+// TestApproxRandomizedDegenerateParity sweeps randomized world shapes —
+// sparse tiny communities, dense heavy overlap, skewed few-attribute
+// worlds — through the theta-1/unbounded bit-identity contract, and
+// checks the block-max tier actually engaged while preserving it.
+func TestApproxRandomizedDegenerateParity(t *testing.T) {
+	shapes := []struct {
+		name         string
+		n, comm, dim int
+	}{
+		{"sparse", 40, 4, 150},
+		{"dense", 150, 25, 500},
+		{"skewed", 120, 3, 80},
+	}
+	for si, shape := range shapes {
+		for seed := int64(0); seed < 3; seed++ {
+			g1, g2 := sparseWorld(t, shape.n, shape.comm, shape.dim, 83+int64(si)*10+seed)
+			base := similarity.NewScorer(g1, g2, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 4})
+			full := New(base, g2, nil, 1)
+			st := &index.ApproxStats{}
+			ap := New(base, g2, nil, 2).WithApprox(index.Config{}, st)
+			for u := 0; u < g1.NumNodes(); u++ {
+				candidatesEqual(t, ap.QueryUserApprox(u, 7, index.ApproxParams{}), full.QueryUser(u, 7),
+					shape.name+" randomized degenerate parity")
+			}
+			if s := st.Snapshot(); s.BlocksChecked == 0 {
+				t.Fatalf("%s seed %d: block-max tier never engaged: %+v", shape.name, seed, s)
+			}
+		}
+	}
+}
+
+// TestApproxBudgetDeterministic pins the bound-ordered budget pool's
+// determinism and its exactness guarantee: repeated runs return identical
+// candidates, and a budget covering the whole population changes nothing
+// — the pool holds every survivor, the final rescore is exact, and no
+// exhaustion is flagged.
+func TestApproxBudgetDeterministic(t *testing.T) {
+	g1, g2 := sparseWorld(t, 90, 9, 300, 97)
+	base := similarity.NewScorer(g1, g2, similarity.Config{C1: 0.05, C2: 0.05, C3: 0.9, Landmarks: 4})
+	full := New(base, g2, nil, 1)
+	st := &index.ApproxStats{}
+	ap := New(base, g2, nil, 2).WithApprox(index.Config{}, st)
+
+	for _, budget := range []int{1, 5, 20} {
+		p := index.ApproxParams{Theta: 1.3, Budget: budget}
+		first := ap.QueryUserApprox(3, 10, p)
+		for rep := 0; rep < 5; rep++ {
+			candidatesEqual(t, ap.QueryUserApprox(3, 10, p), first, "budget determinism")
+		}
+	}
+
+	ample := index.ApproxParams{Budget: g2.NumNodes() + 1}
+	pre := st.Snapshot().BudgetExhausted
+	for u := 0; u < g1.NumNodes(); u++ {
+		candidatesEqual(t, ap.QueryUserApprox(u, 8, ample), full.QueryUser(u, 8), "ample budget parity")
+	}
+	if s := st.Snapshot(); s.BudgetExhausted != pre {
+		t.Fatalf("budget covering the population must not exhaust: %+v", s)
+	}
+}
+
 // TestApproxDegenerateK mirrors the exact TopK clamps.
 func TestApproxDegenerateK(t *testing.T) {
 	g1, g2 := sparseWorld(t, 30, 6, 200, 79)

@@ -54,11 +54,42 @@ func bandStats(b *index.Band) similarity.BandStats {
 	}
 }
 
+// blockStats projects an id-range block's ranges into the similarity
+// layer's bound input — the block-max walk's per-block structural bound
+// is the same ScoreBoundBand the band pruning uses, over narrower ranges.
+func blockStats(b *index.Block) similarity.BandStats {
+	return similarity.BandStats{
+		DegLo: b.DegLo, DegHi: b.DegHi,
+		WdegLo: b.WdegLo, WdegHi: b.WdegHi,
+		NCSNormLo: b.NCSNormLo, NCSNormHi: b.NCSNormHi,
+		CloseNormLo: b.CloseNormLo, CloseNormHi: b.CloseNormHi,
+		WclNormLo: b.WclNormLo, WclNormHi: b.WclNormHi,
+	}
+}
+
 // BuildIndex builds the shard's attribute inverted index and degree bands
 // over its scorer window. Idempotent in effect: the aux side is immutable,
 // so rebuilding yields an equivalent index.
 func (sh *Shard) BuildIndex(cfg index.Config) {
 	sh.Index = index.Build(scorerSource{sh.Scorer}, cfg)
+}
+
+// EnsureBlocks builds the shard index's id-range block-max metadata over
+// the scorer window when missing — the restore path for snapshots written
+// before format v2, which carry no block sections. No-op when the shard
+// has no index or the index already carries blocks. Must be called before
+// the world is shared across queries: it mutates the index in place.
+func (sh *Shard) EnsureBlocks(blockSize int) {
+	if sh.Index != nil && sh.Index.BlockSize() == 0 {
+		sh.Index.BuildBlocks(scorerSource{sh.Scorer}, blockSize)
+	}
+}
+
+// EnsureBlocks applies Shard.EnsureBlocks to every shard.
+func (w *World) EnsureBlocks(blockSize int) {
+	for _, sh := range w.shards {
+		sh.EnsureBlocks(blockSize)
+	}
 }
 
 // TopKPruned is Shard.TopK through the candidate-pruning engine: same
@@ -180,9 +211,10 @@ func (w *World) WithPruning(cfg index.Config, st *index.Stats) *World {
 		ns := *sh
 		out.shards[i] = &ns
 		// Reuse an existing index only when the new configuration's
-		// build-relevant part matches; a different band count rebuilds, so
-		// re-pruning under a new Config is never partially applied.
-		if ns.Index == nil || ns.Index.BuildConfig().Bands != cfg.Bands {
+		// build-relevant part matches; a different band count — or an index
+		// predating block-max metadata — rebuilds, so re-pruning under a
+		// new Config is never partially applied.
+		if ns.Index == nil || ns.Index.BuildConfig().Bands != cfg.Bands || ns.Index.BlockSize() == 0 {
 			wg.Add(1)
 			go func(s *Shard) {
 				defer wg.Done()

@@ -35,12 +35,17 @@ import (
 )
 
 // Format identity. The magic bytes never change; Version bumps on any
-// incompatible layout change, and Load rejects files whose version it does
-// not implement (no forward compatibility: a reader never guesses at
-// sections it does not understand).
+// layout change, and Load rejects files whose version it does not
+// implement (no forward compatibility: a reader never guesses at sections
+// it does not understand). Older versions back to minVersion stay
+// readable: version 1 differs from 2 only in the shard-index blob layout
+// (no block-max metadata), which decodeIndex handles per version and the
+// assembling layer compensates for by rebuilding the blocks on load.
 const (
-	// Version is the snapshot format version this package reads and writes.
-	Version = 1
+	// Version is the snapshot format version this package writes.
+	Version = 2
+	// minVersion is the oldest format version this package still reads.
+	minVersion = 1
 
 	magic      = "DHSNAP"
 	headerSize = 24 // magic[6] + version u16 + count u32 + tableCRC u32 + fileSize u64
@@ -173,7 +178,10 @@ type rawFile struct {
 	// is memory-mapped (so the backing never moves and is never written)
 	// and the platform is little-endian with 64-bit ints.
 	zeroCopy bool
-	secs     []rawSection // data fields alias rawFile.data
+	// version is the file's stated format version, in [minVersion, Version];
+	// decoders with per-version layouts branch on it.
+	version int
+	secs    []rawSection // data fields alias rawFile.data
 }
 
 // readRaw opens, (optionally) maps and fully validates a snapshot file:
@@ -190,8 +198,9 @@ func readRaw(path string, noMmap bool) (*rawFile, error) {
 	if string(data[:6]) != magic {
 		return nil, ErrNotSnapshot
 	}
-	if v := binary.LittleEndian.Uint16(data[6:]); v != Version {
-		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, v, Version)
+	version := int(binary.LittleEndian.Uint16(data[6:]))
+	if version < minVersion || version > Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads versions %d-%d", ErrVersion, version, minVersion, Version)
 	}
 	count := binary.LittleEndian.Uint32(data[8:])
 	tableCRC := binary.LittleEndian.Uint32(data[12:])
@@ -210,7 +219,7 @@ func readRaw(path string, noMmap bool) (*rawFile, error) {
 	if crc32.Checksum(table, castagnoli) != tableCRC {
 		return nil, fmt.Errorf("%w: section table checksum mismatch", ErrCorrupt)
 	}
-	f := &rawFile{data: data, zeroCopy: mapped && nativeLittleEndian && intIs64}
+	f := &rawFile{data: data, zeroCopy: mapped && nativeLittleEndian && intIs64, version: version}
 	f.secs = make([]rawSection, count)
 	for i := range f.secs {
 		e := table[i*entrySize:]

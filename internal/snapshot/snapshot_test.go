@@ -61,12 +61,14 @@ func fixtureWorld() *World {
 		},
 		Indexes: []IndexParts{{
 			N: 2, Bands: 1, MaxCandidateFrac: 0.5,
-			PostOff:  []int{0, 1, 2, 2},
-			PostIDs:  []int32{0, 1},
-			BandOf:   []int32{0, 0},
-			BandOff:  []int{0, 2},
-			BandMeta: []float64{1, 1, 2, 2, 1, 1, 1, 1, 1, 1},
-			BandIDs:  []int32{0, 1},
+			PostOff:   []int{0, 1, 2, 2},
+			PostIDs:   []int32{0, 1},
+			BandOf:    []int32{0, 0},
+			BandOff:   []int{0, 2},
+			BandMeta:  []float64{1, 1, 2, 2, 1, 1, 1, 1, 1, 1},
+			BandIDs:   []int32{0, 1},
+			BlockSize: 1,
+			BlockMeta: []float64{1, 1, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 1, 1, 1, 1, 1, 1},
 		}},
 	}
 }

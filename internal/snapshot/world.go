@@ -159,7 +159,11 @@ type ScorerState struct {
 // IndexParts is one shard's attribute inverted index plus degree bands in
 // flattened form, mirroring index.Parts. BandMeta carries bandMetaWidth
 // float64 values per band: DegLo, DegHi, WdegLo, WdegHi, NCSNormLo,
-// NCSNormHi, CloseNormLo, CloseNormHi, WclNormLo, WclNormHi.
+// NCSNormHi, CloseNormLo, CloseNormHi, WclNormLo, WclNormHi. BlockSize
+// and BlockMeta (format v2) carry the block-max metadata — ceil(N /
+// BlockSize) id-range blocks of bandMetaWidth bounds each, same field
+// order as BandMeta; BlockSize 0 marks a format-v1 blob, whose blocks the
+// assembling layer rebuilds from the restored scorer window.
 type IndexParts struct {
 	N                int
 	Bands            int
@@ -170,6 +174,8 @@ type IndexParts struct {
 	BandOff          []int
 	BandMeta         []float64
 	BandIDs          []int32
+	BlockSize        int
+	BlockMeta        []float64
 }
 
 // bandMetaWidth is the number of float64 bound values stored per band.
@@ -269,7 +275,7 @@ func Load(path string, opt Options) (*World, error) {
 		return nil, err
 	}
 	for _, blob := range f.sections(secShardIndex) {
-		ip, err := decodeIndex(blob)
+		ip, err := decodeIndex(blob, f.version)
 		if err != nil {
 			return nil, err
 		}
@@ -453,7 +459,9 @@ func (f *rawFile) sectionI32(id uint32, alias bool) ([]int32, error) {
 // little-endian blob: a fixed header of counts, then the flat arrays.
 // Index sections are always decoded by copying — they are small relative
 // to the feature and cache sections, and the sub-arrays inside a blob
-// cannot all be 8-byte aligned anyway.
+// cannot all be 8-byte aligned anyway. Format v2 extends the v1 header
+// with two words (block size and block count) and appends BlockMeta after
+// BandIDs; see docs/SNAPSHOT.md for the byte layout.
 func encodeIndex(p *IndexParts) []byte {
 	numAttrs := len(p.PostOff) - 1
 	if numAttrs < 0 {
@@ -463,8 +471,9 @@ func encodeIndex(p *IndexParts) []byte {
 	if len(p.BandOff) > 0 {
 		numBands = len(p.BandOff) - 1
 	}
-	size := 7*8 + (numAttrs+1)*8 + len(p.PostIDs)*4 + len(p.BandOf)*4 +
-		(numBands+1)*8 + len(p.BandMeta)*8 + len(p.BandIDs)*4
+	numBlocks := len(p.BlockMeta) / bandMetaWidth
+	size := 9*8 + (numAttrs+1)*8 + len(p.PostIDs)*4 + len(p.BandOf)*4 +
+		(numBands+1)*8 + len(p.BandMeta)*8 + len(p.BandIDs)*4 + len(p.BlockMeta)*8
 	out := make([]byte, size)
 	le := binary.LittleEndian
 	le.PutUint64(out[0:], uint64(p.N))
@@ -474,7 +483,9 @@ func encodeIndex(p *IndexParts) []byte {
 	le.PutUint64(out[32:], uint64(numBands))
 	le.PutUint64(out[40:], uint64(len(p.PostIDs)))
 	le.PutUint64(out[48:], uint64(len(p.BandIDs)))
-	pos := 56
+	le.PutUint64(out[56:], uint64(p.BlockSize))
+	le.PutUint64(out[64:], uint64(numBlocks))
+	pos := 72
 	putInts := func(v []int) {
 		for _, x := range v {
 			le.PutUint64(out[pos:], uint64(int64(x)))
@@ -507,14 +518,23 @@ func encodeIndex(p *IndexParts) []byte {
 	}
 	putF64(p.BandMeta)
 	putI32(p.BandIDs)
+	putF64(p.BlockMeta)
 	return out
 }
 
 // decodeIndex is encodeIndex's inverse, with full structural validation.
-func decodeIndex(b []byte) (IndexParts, error) {
+// version selects the blob layout: format v1 blobs have a 7-word header
+// and no block metadata (BlockSize decodes as 0, marking the blocks for
+// rebuild), v2 blobs add the block size/count words and the trailing
+// BlockMeta array.
+func decodeIndex(b []byte, version int) (IndexParts, error) {
 	var p IndexParts
 	le := binary.LittleEndian
-	if len(b) < 56 {
+	headerLen := 72
+	if version < 2 {
+		headerLen = 56
+	}
+	if len(b) < headerLen {
 		return p, fmt.Errorf("%w: shard index blob of %d bytes", ErrCorrupt, len(b))
 	}
 	p.N = int(int64(le.Uint64(b[0:])))
@@ -524,14 +544,26 @@ func decodeIndex(b []byte) (IndexParts, error) {
 	numBands := int(int64(le.Uint64(b[32:])))
 	postIDs := int(int64(le.Uint64(b[40:])))
 	bandIDs := int(int64(le.Uint64(b[48:])))
-	if p.N < 0 || numAttrs < 0 || numBands < 0 || postIDs < 0 || bandIDs < 0 {
+	numBlocks := 0
+	if version >= 2 {
+		p.BlockSize = int(int64(le.Uint64(b[56:])))
+		numBlocks = int(int64(le.Uint64(b[64:])))
+	}
+	if p.N < 0 || numAttrs < 0 || numBands < 0 || postIDs < 0 || bandIDs < 0 || p.BlockSize < 0 || numBlocks < 0 {
 		return p, fmt.Errorf("%w: negative shard index counts", ErrCorrupt)
 	}
-	want := 56 + (numAttrs+1)*8 + postIDs*4 + p.N*4 + (numBands+1)*8 + numBands*bandMetaWidth*8 + bandIDs*4
+	if p.BlockSize == 0 && numBlocks != 0 {
+		return p, fmt.Errorf("%w: %d index blocks with block size 0", ErrCorrupt, numBlocks)
+	}
+	if p.BlockSize > 0 && numBlocks != (p.N+p.BlockSize-1)/p.BlockSize {
+		return p, fmt.Errorf("%w: %d index blocks of %d ids do not tile %d users", ErrCorrupt, numBlocks, p.BlockSize, p.N)
+	}
+	want := headerLen + (numAttrs+1)*8 + postIDs*4 + p.N*4 + (numBands+1)*8 +
+		numBands*bandMetaWidth*8 + bandIDs*4 + numBlocks*bandMetaWidth*8
 	if len(b) != want {
 		return p, fmt.Errorf("%w: shard index blob is %d bytes, counts demand %d", ErrCorrupt, len(b), want)
 	}
-	pos := 56
+	pos := headerLen
 	getInts := func(n int) []int {
 		out := make([]int, n)
 		for i := range out {
@@ -562,6 +594,9 @@ func decodeIndex(b []byte) (IndexParts, error) {
 	p.BandOff = getInts(numBands + 1)
 	p.BandMeta = getF64(numBands * bandMetaWidth)
 	p.BandIDs = getI32(bandIDs)
+	if numBlocks > 0 {
+		p.BlockMeta = getF64(numBlocks * bandMetaWidth)
+	}
 	if err := checkOffsets(p.PostOff, len(p.PostIDs), "shard index postings"); err != nil {
 		return p, err
 	}

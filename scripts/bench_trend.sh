@@ -4,8 +4,12 @@
 # trajectory without opening seven JSON files. Each artifact's numeric
 # scalars are flattened (one nesting level deep: "dense.full_qps",
 # "qps.full-scan", ...); lists such as theta sweeps are summarized by
-# entry count. The script only reports — it never gates: benchmarks run
-# on shared runners and a slow machine must not fail the build. Usage:
+# entry count. Recall artifacts (BENCH_recall.json) additionally get a
+# per-mode table with recall@10 and speedup columns plus each world's
+# speedup-at-recall@0.95 headline, so the accuracy/speed trade-off of the
+# approximate tier is visible in the same log. The script only reports —
+# it never gates: benchmarks run on shared runners and a slow machine
+# must not fail the build. Usage:
 #
 #   ./scripts/bench_trend.sh [dir]     # dir defaults to the repo root
 set -euo pipefail
@@ -39,11 +43,42 @@ def flatten(prefix, v, out):
         out.append((f"{prefix}[n]", len(v)))
 
 
+def recall_table(name, doc):
+    """Per-mode recall@10 / speedup table for recall artifacts: every
+    world section carrying a theta_sweep contributes its swept modes and
+    its speedup-at-recall@0.95 headline."""
+    sweeps = []
+    for world in sorted(doc):
+        sec = doc[world]
+        if isinstance(sec, dict) and isinstance(sec.get("theta_sweep"), list):
+            sweeps.append((world, sec))
+    if not sweeps:
+        return
+    print()
+    print(f"{name}: approximate-tier recall sweep")
+    print(f"{'world':<8}  {'theta':>5}  {'budget':>6}  {'recall@10':>9}  {'speedup':>8}  {'qps':>12}")
+    print("-" * 58)
+    for world, sec in sweeps:
+        for row in sec["theta_sweep"]:
+            print(f"{world:<8}  {row.get('theta', 0):>5.2f}  {row.get('budget', 0):>6}  "
+                  f"{row.get('recall_10', 0):>9.4f}  {row.get('speedup', 0):>7.2f}x  "
+                  f"{row.get('qps', 0):>12,.1f}")
+    for world, sec in sweeps:
+        best = sec.get("best_at_recall_0.95")
+        if isinstance(best, dict):
+            print(f"{world}: best speedup at recall >= 0.95 is "
+                  f"{best.get('speedup', 0):.2f}x ({best.get('mode', '?')})")
+
+
 rows = []
+recall_docs = []
 for path in sys.argv[1:]:
     with open(path) as f:
         doc = json.load(f)
     name = doc.get("benchmark", path.rsplit("/", 1)[-1])
+    if any(isinstance(v, dict) and isinstance(v.get("theta_sweep"), list)
+           for v in doc.values()):
+        recall_docs.append((name, doc))
     core = "1-core" if doc.get("single_core") else f"{doc.get('gomaxprocs', '?')}-core"
     flat = []
     for key in sorted(doc):
@@ -64,4 +99,7 @@ for name, metric, value, core in rows:
     else:
         val = f"{value:,}"
     print(f"{name:<{wn}}  {metric:<{wm}}  {val:>14}  {core}")
+
+for name, doc in recall_docs:
+    recall_table(name, doc)
 PY

@@ -127,6 +127,8 @@ func (w *PreparedWorld) snapshotWorld() (*snapshot.World, error) {
 				BandOff:          ip.BandOff,
 				BandMeta:         ip.BandMeta,
 				BandIDs:          ip.BandIDs,
+				BlockSize:        ip.BlockSize,
+				BlockMeta:        ip.BlockMeta,
 			})
 		}
 		sw.Meta.PruneBands = bands
@@ -345,6 +347,8 @@ func LoadWorld(path string, opt LoadOptions) (*PreparedWorld, error) {
 				BandOff:          ip.BandOff,
 				BandMeta:         ip.BandMeta,
 				BandIDs:          ip.BandIDs,
+				BlockSize:        ip.BlockSize,
+				BlockMeta:        ip.BlockMeta,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
@@ -353,6 +357,12 @@ func LoadWorld(path string, opt LoadOptions) (*PreparedWorld, error) {
 				return nil, fmt.Errorf("%w: shard %d index covers %d users, window has %d", snapshot.ErrCorrupt, i, x.NumUsers(), sh.NumUsers())
 			}
 			sh.Index = x
+			// Format-v1 blobs carry no block-max metadata (BlockSize 0):
+			// rebuild it from the restored scorer window at the default
+			// block size, so a pre-v2 snapshot gains the block-max walk
+			// without an index rebuild — and without bumping what the walk
+			// may skip, since block bounds only ever tighten the global base.
+			sh.EnsureBlocks(0)
 		}
 		// WithPruning/WithApprox reuse the installed indexes: the
 		// configuration's build-relevant part (Bands) matches by
